@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Each benchmark module regenerates one table or figure of the paper and
+prints it, so `pytest benchmarks/ --benchmark-only -s` reproduces the
+whole evaluation section.  Simulations are deterministic, so a single
+round per benchmark is meaningful.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (deterministic sims)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,49 @@
+"""E7 — Section V ablation: distributing virtual interrupts across VCPUs.
+
+Paper anchors: Apache KVM 35%->14%, Xen 84%->16%; Memcached KVM 26%->8%,
+Xen 32%->9%.
+"""
+
+import pytest
+
+from repro.core.irqbalance import run_irq_distribution_ablation
+from repro.paperdata import IRQ_DISTRIBUTION_ABLATION
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_irq_distribution_ablation()
+
+
+def test_ablation_regeneration(once, ablation):
+    from repro.core.suite import ablation_report
+
+    print("\n" + once(ablation_report))
+    for (key, workload), paper in IRQ_DISTRIBUTION_ABLATION.items():
+        point = ablation[(key, workload)]
+        assert point.single_overhead_pct == pytest.approx(paper["single"], abs=12)
+        assert point.distributed_overhead_pct < point.single_overhead_pct / 2
+
+
+@pytest.mark.parametrize("key,workload", list(IRQ_DISTRIBUTION_ABLATION))
+def test_against_paper_anchors(ablation, key, workload):
+    paper = IRQ_DISTRIBUTION_ABLATION[(key, workload)]
+    point = ablation[(key, workload)]
+    assert point.single_overhead_pct == pytest.approx(paper["single"], abs=12)
+    assert point.distributed_overhead_pct == pytest.approx(paper["distributed"], abs=12)
+
+
+def test_distribution_always_helps(ablation):
+    for point in ablation.values():
+        assert point.distributed_overhead_pct < point.single_overhead_pct / 2
+
+
+def test_xen_apache_has_the_largest_drop(ablation):
+    drops = {pair: point.improvement_pct for pair, point in ablation.items()}
+    assert max(drops, key=drops.get) == ("xen-arm", "Apache")
+
+
+def test_bottleneck_moves_off_vcpu0(ablation):
+    for point in ablation.values():
+        assert point.single_bottleneck == "vcpu0"
+        assert point.distributed_bottleneck != "vcpu0"

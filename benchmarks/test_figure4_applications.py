@@ -1,0 +1,93 @@
+"""E5 — Figure 4: application benchmark performance, all platforms.
+
+Regenerates the paper's bar chart as a table.  Assertions follow the
+shape criteria in DESIGN.md; absolute tolerances are tighter for values
+the paper states in prose (exact=True in paperdata) and looser for bars
+digitized from the figure.
+"""
+
+import pytest
+
+from repro.core.appbench import run_figure4
+from repro.core.reporting import render_figure4
+from repro.paperdata import FIGURE4, PLATFORM_ORDER
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return run_figure4(PLATFORM_ORDER)
+
+
+def test_figure4_regeneration(once, grid):
+    table = once(render_figure4, grid)
+    print("\n" + table)
+    # Headline shape, asserted here so --benchmark-only covers it too:
+    for workload in ("TCP_RR", "TCP_STREAM", "Apache", "Memcached"):
+        assert grid[workload]["kvm-arm"].normalized < grid[workload]["xen-arm"].normalized
+    assert grid["TCP_STREAM"]["xen-arm"].normalized > 2.8
+    assert grid["Hackbench"]["xen-arm"].normalized < grid["Hackbench"]["kvm-arm"].normalized
+
+
+@pytest.mark.parametrize("workload", list(FIGURE4))
+def test_against_paper_values(grid, workload):
+    for key in PLATFORM_ORDER:
+        point = FIGURE4[workload].get(key)
+        if point is None:
+            continue  # Apache could not run on Xen x86 in the paper
+        sim = grid[workload][key].normalized
+        # prose-derived values: 25% of the overhead-above-native (the
+        # same band as the Table II/V asserts); digitized bars: looser
+        if point.exact:
+            tolerance = max(0.25 * (point.value - 1.0), 0.08)
+        else:
+            tolerance = max(0.35 * (point.value - 1.0), 0.12)
+        assert abs(sim - point.value) <= tolerance, (
+            "%s on %s: simulated %.2f vs paper %.2f" % (workload, key, sim, point.value)
+        )
+
+
+class TestShape:
+    def test_cpu_workloads_near_native_everywhere(self, grid):
+        for workload in ("Kernbench", "SPECjvm2008", "MySQL"):
+            for key in PLATFORM_ORDER:
+                assert grid[workload][key].normalized < 1.20
+
+    def test_kvm_arm_beats_xen_arm_on_io(self, grid):
+        """The paper's headline: the Type 2 hypervisor wins on real I/O
+        despite losing every transition microbenchmark."""
+        for workload in ("TCP_RR", "TCP_STREAM", "TCP_MAERTS", "Apache", "Memcached"):
+            assert grid[workload]["kvm-arm"].normalized < grid[workload]["xen-arm"].normalized
+
+    def test_xen_arm_wins_hackbench(self, grid):
+        """...except the virtual-IPI-bound scheduler workload, where the
+        difference is small (~5% of native)."""
+        kvm = grid["Hackbench"]["kvm-arm"].normalized
+        xen = grid["Hackbench"]["xen-arm"].normalized
+        assert xen < kvm
+        assert kvm - xen < 0.10
+
+    def test_kvm_stream_has_almost_no_overhead(self, grid):
+        assert grid["TCP_STREAM"]["kvm-arm"].normalized < 1.05
+        assert grid["TCP_STREAM"]["kvm-x86"].normalized < 1.05
+
+    def test_xen_stream_exceeds_250pct_overhead_on_arm(self, grid):
+        assert grid["TCP_STREAM"]["xen-arm"].normalized > 2.8
+
+    def test_arm_hypervisors_comparable_to_x86_counterparts(self, grid):
+        """'Both types of ARM hypervisors can achieve similar, and in
+        some cases lower, performance overhead than their x86
+        counterparts.'"""
+        lower_somewhere = 0
+        for workload in grid:
+            for arm_key, x86_key in (("kvm-arm", "kvm-x86"), ("xen-arm", "xen-x86")):
+                arm = grid[workload][arm_key].normalized
+                x86 = grid[workload][x86_key].normalized
+                assert arm < x86 * 1.5  # similar
+                if arm < x86:
+                    lower_somewhere += 1
+        assert lower_somewhere >= 3  # and sometimes lower
+
+    def test_bottlenecks_reported(self, grid):
+        assert grid["Apache"]["kvm-arm"].bottleneck == "vcpu0"
+        assert grid["TCP_STREAM"]["xen-arm"].bottleneck == "backend"
+        assert grid["TCP_STREAM"]["kvm-arm"].bottleneck == "wire"

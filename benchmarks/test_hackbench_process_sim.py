@@ -1,0 +1,19 @@
+"""Cross-validation bench: process-level hackbench vs the Figure 4 model.
+
+Not a paper table by itself — it substantiates the Figure 4 Hackbench
+bars with an emergent discrete-event result (queueing included).
+"""
+
+from repro.workloads.hackbench_sim import run_hackbench_comparison
+
+
+def test_process_level_hackbench(once):
+    results = once(run_hackbench_comparison, 24, 24)
+    native = results["native"]
+    print("\nProcess-level hackbench (normalized to native):")
+    for key, result in results.items():
+        print("  %-9s %.3f" % (key, result.normalized_to(native)))
+    kvm = results["kvm-arm"].normalized_to(native)
+    xen = results["xen-arm"].normalized_to(native)
+    assert 1.0 < xen < kvm < 1.35
+    assert kvm - xen < 0.20  # Xen's IPI advantage buys only a few points

@@ -1,0 +1,40 @@
+"""Oversubscription bench: the consolidation cost of VM switches.
+
+Extends Table II's VM Switch row into the scenario it stands for (two
+VMs timesliced on one core).  Xen x86's 2x-costlier switch should show
+up as measurably lower efficiency at tight timeslices.
+"""
+
+import pytest
+
+from repro.core.oversubscription import sweep
+from repro.paperdata import PLATFORM_ORDER
+
+
+@pytest.fixture(scope="module")
+def results():
+    return sweep(PLATFORM_ORDER, timeslices_us=(100.0, 1000.0))
+
+
+def test_oversubscription_sweep(once, results):
+    print("\nCPU efficiency with two timesliced VMs per core:")
+    print("%-10s %14s %14s" % ("platform", "100us slice", "1ms slice"))
+    for key, points in once(lambda: results).items():
+        print(
+            "%-10s %13.1f%% %13.1f%%"
+            % (key, points[0].efficiency * 100, points[1].efficiency * 100)
+        )
+    for key, points in results.items():
+        tight, loose = points
+        assert tight.efficiency < loose.efficiency  # switching amortizes
+        assert loose.efficiency > 0.95
+
+
+def test_xen_x86_pays_most_at_tight_slices(results):
+    tight = {key: points[0].efficiency for key, points in results.items()}
+    assert min(tight, key=tight.get) == "xen-x86"  # 10.5k-cycle switches
+
+
+def test_switch_counts_scale_with_slice(results):
+    for points in results.values():
+        assert points[0].switches > points[1].switches * 5

@@ -1,0 +1,38 @@
+"""Cross-validation bench: emergent server queueing vs the Figure 4 model.
+
+The Section V interrupt bottleneck, produced two independent ways —
+closed-form stage capacities and a discrete-event closed-loop load
+simulation — from the same measured operation costs.
+"""
+
+from repro.core.serversim import run_server_comparison
+
+
+def test_server_queueing_emerges(once):
+    def run_grid():
+        return {
+            irq_vcpus: run_server_comparison(irq_vcpus=irq_vcpus, requests=240)
+            for irq_vcpus in (1, 4)
+        }
+
+    grid = once(run_grid)
+    print("\nApache-like closed-loop load (normalized to native):")
+    for irq_vcpus, results in grid.items():
+        native = results["native"]
+        print(
+            "  irq_vcpus=%d: kvm-arm %.2f, xen-arm %.2f"
+            % (
+                irq_vcpus,
+                results["kvm-arm"].normalized_to(native),
+                results["xen-arm"].normalized_to(native),
+            )
+        )
+    single_native = grid[1]["native"]
+    spread_native = grid[4]["native"]
+    assert grid[1]["xen-arm"].normalized_to(single_native) > 1.6
+    assert grid[1]["kvm-arm"].normalized_to(single_native) > 1.2
+    for key in ("kvm-arm", "xen-arm"):
+        assert (
+            grid[4][key].normalized_to(spread_native)
+            < grid[1][key].normalized_to(single_native) - 0.1
+        )

@@ -1,0 +1,22 @@
+"""Cross-validation bench: packet-level TCP_STREAM vs the Figure 4 model."""
+
+from repro.core.streamsim import run_stream_comparison
+
+
+def test_stream_packet_level(once):
+    results = once(run_stream_comparison, 200)
+    native = results["native"]
+    print("\nTCP_STREAM, packet level (windowed pipeline on the DES):")
+    for key, result in results.items():
+        print(
+            "  %-9s %6.2f Gb/s  normalized %.2f  bottleneck=%s"
+            % (
+                key,
+                result.throughput_bps / 1e9,
+                result.normalized_to(native),
+                result.bottleneck,
+            )
+        )
+    assert results["kvm-arm"].normalized_to(native) < 1.05
+    assert results["xen-arm"].normalized_to(native) > 2.8
+    assert results["xen-arm"].bottleneck == "backend"

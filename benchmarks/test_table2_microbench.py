@@ -1,0 +1,44 @@
+"""E2 — Table II: microbenchmark cycle counts on all four platforms.
+
+Regenerates the paper's central table.  Shape criteria (who wins, by
+what rough factor) are asserted; absolute values are printed next to the
+published numbers.
+"""
+
+import pytest
+
+from repro.core.microbench import MicrobenchmarkSuite
+from repro.core.reporting import render_table2
+from repro.core.testbed import build_testbed
+from repro.paperdata import PLATFORM_ORDER, TABLE2
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return {
+        key: MicrobenchmarkSuite(build_testbed(key)).run_all() for key in PLATFORM_ORDER
+    }
+
+
+def test_table2_regeneration(once, measured):
+    table = once(render_table2, measured)
+    print("\n" + table)
+    for row, columns in TABLE2.items():
+        for key, paper in columns.items():
+            assert measured[key][row] == pytest.approx(paper, rel=0.25)
+
+
+def test_benchmark_one_platform_column(once):
+    """Times a full 7-benchmark column on a fresh testbed."""
+    results = once(lambda: MicrobenchmarkSuite(build_testbed("kvm-arm")).run_all())
+    assert results["Hypercall"] > 10 * 376  # the Type 2 split-mode cost
+
+
+def test_shape_type1_vs_type2_on_arm(measured):
+    assert measured["kvm-arm"]["Hypercall"] > 10 * measured["xen-arm"]["Hypercall"]
+    assert measured["xen-arm"]["I/O Latency Out"] > 2 * measured["kvm-arm"]["I/O Latency Out"]
+
+
+def test_shape_arm_vs_x86(measured):
+    assert measured["xen-arm"]["Hypercall"] * 3 < measured["xen-x86"]["Hypercall"]
+    assert measured["kvm-arm"]["Virtual IRQ Completion"] < 100 < measured["kvm-x86"]["Virtual IRQ Completion"]

@@ -1,0 +1,34 @@
+"""E6 — Table V: the netperf TCP_RR latency decomposition on ARM."""
+
+import pytest
+
+from repro.core.netanalysis import run_table5
+from repro.core.reporting import render_table5
+from repro.paperdata import TABLE5
+
+
+@pytest.fixture(scope="module")
+def table5():
+    return run_table5(transactions=40)
+
+
+def test_table5_regeneration(once, table5):
+    table = once(render_table5, table5)
+    print("\n" + table)
+    for row, columns in TABLE5.items():
+        if row == "Overhead":
+            continue
+        for config, paper in columns.items():
+            if paper is None:
+                continue
+            sim = table5[config].as_dict()[row]
+            assert sim == pytest.approx(paper, rel=0.25)
+
+
+def test_overhead_row(table5):
+    """Overhead/trans: paper 44.5 us (KVM) and 55.7 us (Xen)."""
+    kvm = table5["kvm"].overhead_us(table5["native"])
+    xen = table5["xen"].overhead_us(table5["native"])
+    assert kvm == pytest.approx(44.5, rel=0.25)
+    assert xen == pytest.approx(55.7, rel=0.25)
+    assert xen > kvm

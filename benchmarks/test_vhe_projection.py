@@ -1,0 +1,62 @@
+"""E8 — Section VI: the VHE configuration the paper could only project.
+
+Paper projections: Hypercall and I/O Latency Out improve by more than an
+order of magnitude; realistic I/O workloads by 10-20%; VHE KVM becomes
+superior to Xen (which still needs Dom0 in EL1 for I/O).
+"""
+
+import pytest
+
+from repro.core.microbench import MicrobenchmarkSuite
+from repro.core.testbed import build_testbed
+from repro.core.vhe_projection import IO_WORKLOADS, run_vhe_comparison
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_vhe_comparison()
+
+
+def test_vhe_regeneration(once, comparison):
+    from repro.core.suite import vhe_report
+
+    print("\n" + once(vhe_report))
+    assert comparison.microbench_speedup("Hypercall") > 10.0
+    assert comparison.microbench_speedup("I/O Latency Out") > 5.0
+    assert 8.0 <= comparison.app_improvement("Apache") <= 25.0
+
+
+def test_hypercall_improves_an_order_of_magnitude(comparison):
+    assert comparison.microbench_speedup("Hypercall") > 10.0
+
+
+def test_io_latency_out_improves_several_fold(comparison):
+    """The paper projects >10x potential; our conservative model (which
+    keeps the full MMIO decode + ioeventfd path) delivers >5x."""
+    assert comparison.microbench_speedup("I/O Latency Out") > 5.0
+
+
+def test_vm_switch_barely_moves(comparison):
+    """VHE helps traps, not VM switches: the full state still moves."""
+    assert comparison.microbench_speedup("VM Switch") < 1.3
+
+
+def test_io_workloads_improve_double_digit_points(comparison):
+    """'improving more realistic I/O workloads by 10% to 20%'."""
+    improvements = [comparison.app_improvement(name) for name in ("Apache", "Memcached")]
+    for points in improvements:
+        assert 8.0 <= points <= 25.0
+
+
+def test_vhe_kvm_beats_xen_on_hypercalls_scale(comparison):
+    """VHE brings KVM's transition into the same class as Xen's."""
+    xen = MicrobenchmarkSuite(build_testbed("xen-arm")).run_all()
+    vhe_hypercall = comparison.microbench["Hypercall"][1]
+    assert vhe_hypercall < 2 * xen["Hypercall"]
+
+
+def test_vhe_io_beats_xen(comparison):
+    """Xen must still engage Dom0 in EL1 for I/O; VHE KVM does not."""
+    xen = MicrobenchmarkSuite(build_testbed("xen-arm")).run_all()
+    assert comparison.microbench["I/O Latency Out"][1] < xen["I/O Latency Out"] / 10
+    assert comparison.microbench["I/O Latency In"][1] < xen["I/O Latency In"]

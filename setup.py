@@ -1,0 +1,6 @@
+"""Legacy setup shim: this environment lacks the `wheel` package, so the
+PEP-517 editable path (which requires bdist_wheel) fails; `pip install -e .`
+falls back to `setup.py develop` via --no-use-pep517."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""Command-line interface: regenerate any of the paper's artifacts.
+
+Usage:
+    python -m repro table2             # microbenchmarks, 4 platforms
+    python -m repro table3             # KVM ARM hypercall breakdown
+    python -m repro table5             # TCP_RR decomposition
+    python -m repro figure4            # application benchmarks
+    python -m repro ablation           # Section V IRQ distribution
+    python -m repro vhe                # Section VI VHE comparison
+    python -m repro figures            # Figures 1-3/5 as ASCII
+    python -m repro all                # the whole evaluation section
+    python -m repro micro --platform xen-arm   # one platform's column
+"""
+
+import argparse
+import sys
+
+from repro.core import reporting, suite
+from repro.core.microbench import MicrobenchmarkSuite
+from repro.core.testbed import ALL_KEYS, build_testbed
+
+
+def _cmd_micro(args):
+    results = MicrobenchmarkSuite(build_testbed(args.platform)).run_all()
+    rows = [[name, "%d" % cycles] for name, cycles in results.items()]
+    print(
+        reporting.render_table(
+            ["Microbenchmark", "cycles"],
+            rows,
+            title="Microbenchmarks on %s" % args.platform,
+        )
+    )
+
+
+def _cmd_figures(_args):
+    for name in ("figure1", "figure2", "figure3", "figure5"):
+        print(reporting.describe_architecture(name))
+        print()
+
+
+COMMANDS = {
+    "table2": lambda args: print(suite.table2_report()),
+    "table3": lambda args: print(suite.table3_report()),
+    "table5": lambda args: print(suite.table5_report(args.transactions)),
+    "figure4": lambda args: print(suite.figure4_report()),
+    "ablation": lambda args: print(suite.ablation_report()),
+    "vhe": lambda args: print(suite.vhe_report()),
+    "figures": _cmd_figures,
+    "all": lambda args: print(suite.full_report()),
+    "micro": _cmd_micro,
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'ARM Virtualization: Performance and Architectural "
+            "Implications' (ISCA 2016) on the simulated testbeds."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("table2", "table3", "figure4", "ablation", "vhe", "figures", "all"):
+        sub.add_parser(name, help="regenerate %s" % name)
+    table5 = sub.add_parser("table5", help="regenerate table5")
+    table5.add_argument(
+        "--transactions", type=int, default=40, help="TCP_RR transactions to simulate"
+    )
+    micro = sub.add_parser("micro", help="one platform's microbenchmark column")
+    micro.add_argument(
+        "--platform",
+        choices=ALL_KEYS,
+        default="kvm-arm",
+        help="platform key (default kvm-arm)",
+    )
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The paper's measurement framework and analyses.
+
+* :mod:`repro.core.testbed` — builds the paper's Section III configurations
+* :mod:`repro.core.microbench` — the seven Table I microbenchmarks
+* :mod:`repro.core.breakdown` — the Table III save/restore breakdown
+* :mod:`repro.core.netanalysis` — the Table V TCP_RR decomposition
+* :mod:`repro.core.appbench` — the Figure 4 application benchmarks
+* :mod:`repro.core.irqbalance` — the Section V interrupt-distribution ablation
+* :mod:`repro.core.vhe_projection` — the Section VI VHE analysis
+* :mod:`repro.core.reporting` — table/figure rendering
+* :mod:`repro.core.suite` — one-call entry points
+"""
+
+from repro.core.testbed import Testbed, build_testbed, PLATFORM_KEYS
+from repro.core.microbench import MicrobenchmarkSuite, MICROBENCHMARKS
+
+__all__ = [
+    "MICROBENCHMARKS",
+    "MicrobenchmarkSuite",
+    "PLATFORM_KEYS",
+    "Testbed",
+    "build_testbed",
+]

@@ -1,0 +1,169 @@
+"""Request-level server simulation: the Section V bottleneck, emergent.
+
+The Figure 4 server model computes the single-VCPU interrupt bottleneck
+in closed form.  This module *runs* it: a closed-loop client population
+drives requests through per-VCPU work queues (executors) plus a backend
+executor, with virtual-interrupt delivery work placed on whichever VCPU
+the VM's IRQ affinity selects.  When all interrupts target VCPU0, its
+queue saturates and throughput caps — no formula involved.
+
+Costs come from the same measured sources as the closed-form model
+(derived operation costs + the netstack model), so agreement between the
+two is a meaningful cross-check, exercised by
+``benchmarks/test_server_queueing_sim.py``.
+"""
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.os.procsim import VcpuExecutor
+
+VM_VCPUS = 4
+
+
+@dataclasses.dataclass
+class ServerSimResult:
+    key: str
+    requests: int
+    total_cycles: int
+    requests_per_second: float
+    irq_vcpu_utilization: float
+
+    def normalized_to(self, native):
+        return native.requests_per_second / self.requests_per_second
+
+
+class ServerLoadSimulation:
+    """Closed-loop request/response load against one testbed."""
+
+    def __init__(
+        self,
+        testbed,
+        derived=None,
+        concurrency=16,
+        requests=400,
+        irq_vcpus=1,
+        request_cpu_us=300.0,  # one request's CPU work (Apache-like)
+        deliveries_per_request=6,
+        guest_per_delivery_us=0.55,
+        kicks_per_request=3,
+    ):
+        if concurrency < 1 or requests < concurrency:
+            raise ConfigurationError("need requests >= concurrency >= 1")
+        self.testbed = testbed
+        self.derived = derived
+        self.concurrency = concurrency
+        self.requests = requests
+        self.irq_vcpus = irq_vcpus
+        self.request_cpu_us = request_cpu_us
+        self.deliveries = deliveries_per_request
+        self.guest_per_delivery_us = guest_per_delivery_us
+        self.kicks = kicks_per_request
+        self.engine = testbed.engine
+        self.clock = testbed.clock
+
+    def _costs(self):
+        """Per-request (irq_cycles, app_cycles, backend_cycles).
+
+        A request's application work runs in one worker process on one
+        VCPU (Apache's process-per-connection model); requests fan out
+        across VCPUs, interrupts go wherever the affinity says.
+        """
+        clock = self.clock
+        app = clock.cycles_from_us(self.request_cpu_us)
+        if self.derived is None:  # native
+            irq = clock.cycles_from_us(0.3) * self.deliveries  # phys IRQs
+            backend = 0
+            return irq, app, backend
+        derived = self.derived
+        per_delivery = derived.delivery_occupancy + clock.cycles_from_us(
+            self.guest_per_delivery_us
+        )
+        irq = per_delivery * self.deliveries
+        kick = derived.io_kick * self.kicks  # runs on an app VCPU
+        backend = clock.cycles_from_us(12.0)
+        if derived.grant_copy_page:
+            backend += derived.grant_copy_page_batched * 10  # 41KB response
+        return irq, app + kick, backend
+
+    def run(self):
+        irq_cycles, app_cycles, backend_cycles = self._costs()
+        vcpus = [
+            VcpuExecutor(self.engine, "vcpu%d" % index) for index in range(VM_VCPUS)
+        ]
+        backend = VcpuExecutor(self.engine, "backend")
+        finished = self.engine.event("server-sim-finished")
+        state = {"completed": 0, "issued": 0, "rr_app": 0, "rr_irq": 0}
+
+        def issue_request():
+            if state["issued"] >= self.requests:
+                return
+            state["issued"] += 1
+            # 1. backend ingests the request (host rx / Dom0 / netback)
+            ingested = self.engine.event()
+            backend.submit(backend_cycles, ingested)
+            ingested.on_fire(deliver)
+
+        def deliver(_value):
+            # 2. interrupt work on the affinity VCPU set
+            irq_vcpu = vcpus[state["rr_irq"] % max(1, self.irq_vcpus)]
+            state["rr_irq"] += 1
+            delivered = self.engine.event()
+            irq_vcpu.submit(irq_cycles, delivered)
+            delivered.on_fire(process)
+
+        def process(_value):
+            # 3. application work: one worker on one VCPU per request
+            app_vcpu = vcpus[state["rr_app"] % VM_VCPUS]
+            state["rr_app"] += 1
+            processed = self.engine.event()
+            app_vcpu.submit(app_cycles, processed)
+            processed.on_fire(complete)
+
+        def complete(_value):
+            state["completed"] += 1
+            if state["completed"] >= self.requests:
+                if not finished.fired:
+                    finished.fire(self.engine.now)
+            else:
+                issue_request()  # closed loop: next request from this client
+
+        start = self.engine.now
+        for _client in range(self.concurrency):
+            issue_request()
+        self.engine.run_until_fired(finished, limit=int(1e15))
+        total = self.engine.now - start
+        irq_busy = sum(v.busy_cycles for v in vcpus[: max(1, self.irq_vcpus)])
+        return ServerSimResult(
+            key=self.testbed.key,
+            requests=state["completed"],
+            total_cycles=total,
+            requests_per_second=state["completed"]
+            / (total / self.testbed.machine.platform.frequency_hz),
+            irq_vcpu_utilization=irq_busy
+            / (total * max(1, self.irq_vcpus)),
+        )
+
+
+def run_server_comparison(irq_vcpus=1, requests=400, xen_deliveries=29):
+    """Native vs KVM ARM vs Xen ARM under Apache-like load."""
+    from repro.core.derived import measure_derived_costs
+    from repro.core.testbed import build_testbed, native_testbed
+
+    results = {}
+    results["native"] = ServerLoadSimulation(
+        native_testbed("arm"), requests=requests, irq_vcpus=irq_vcpus
+    ).run()
+    for key in ("kvm-arm", "xen-arm"):
+        derived = measure_derived_costs(key)
+        deliveries = xen_deliveries if key.startswith("xen") else 6
+        per_delivery = 1.10 if key.startswith("xen") else 0.55
+        results[key] = ServerLoadSimulation(
+            build_testbed(key),
+            derived=derived,
+            requests=requests,
+            irq_vcpus=irq_vcpus,
+            deliveries_per_request=deliveries,
+            guest_per_delivery_us=per_delivery,
+        ).run()
+    return results

@@ -1,0 +1,171 @@
+"""Bulk-stream simulation: TCP_STREAM as a windowed pipeline on the DES.
+
+The Figure 4 TCP_STREAM/TCP_MAERTS bars come from a closed-form
+``min(wire, stages)`` pipeline.  This module cross-validates it by
+*running* the stream: segments flow through a chain of work queues
+(wire serialization, backend CPU, guest CPU) under a TCP-like in-flight
+window, and throughput is measured from delivered bytes over simulated
+time.  Saturation of the slowest stage — and the idle gaps everywhere
+else — emerge from the event engine.
+"""
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.os.procsim import VcpuExecutor
+
+SEGMENT_BYTES = 64 * 1024
+MTU_BYTES = 1500
+
+
+@dataclasses.dataclass
+class StreamStage:
+    """One pipeline stage: a name + per-segment CPU/wire cycles."""
+
+    name: str
+    cycles_per_segment: int
+
+
+@dataclasses.dataclass
+class StreamSimResult:
+    key: str
+    segments: int
+    total_cycles: int
+    throughput_bps: float
+    bottleneck: str
+    stage_utilization: dict
+
+    def normalized_to(self, native):
+        return native.throughput_bps / self.throughput_bps
+
+
+class StreamSimulation:
+    """Runs ``segments`` through the stage chain under a window."""
+
+    def __init__(self, testbed, stages, segments=300, window=16,
+                 segment_bytes=SEGMENT_BYTES):
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        if not stages:
+            raise ConfigurationError("need at least one stage")
+        self.testbed = testbed
+        self.stages = stages
+        self.segments = segments
+        self.window = window
+        self.segment_bytes = segment_bytes
+        self.engine = testbed.engine
+
+    def run(self):
+        executors = [
+            VcpuExecutor(self.engine, stage.name) for stage in self.stages
+        ]
+        finished = self.engine.event("stream-finished")
+        state = {"sent": 0, "delivered": 0}
+
+        def send_segment():
+            if state["sent"] >= self.segments:
+                return
+            state["sent"] += 1
+            advance(0)
+
+        def advance(stage_index):
+            done = self.engine.event()
+            executors[stage_index].submit(
+                self.stages[stage_index].cycles_per_segment, done
+            )
+            if stage_index + 1 < len(self.stages):
+                done.on_fire(lambda _value: advance(stage_index + 1))
+            else:
+                done.on_fire(complete)
+
+        def complete(_value):
+            state["delivered"] += 1
+            if state["delivered"] >= self.segments:
+                if not finished.fired:
+                    finished.fire(self.engine.now)
+            else:
+                send_segment()  # window slot freed
+
+        start = self.engine.now
+        for _slot in range(min(self.window, self.segments)):
+            send_segment()
+        self.engine.run_until_fired(finished, limit=int(1e15))
+        total = self.engine.now - start
+        frequency = self.testbed.machine.platform.frequency_hz
+        utilization = {
+            stage.name: executor.busy_cycles / total
+            for stage, executor in zip(self.stages, executors)
+        }
+        bottleneck = max(utilization, key=utilization.get)
+        return StreamSimResult(
+            key=self.testbed.key,
+            segments=state["delivered"],
+            total_cycles=total,
+            throughput_bps=state["delivered"] * self.segment_bytes * 8
+            / (total / frequency),
+            bottleneck=bottleneck,
+            stage_utilization=utilization,
+        )
+
+
+def build_stream_stages(testbed, derived=None):
+    """The TCP_STREAM receive-path stages for one configuration.
+
+    Per-segment costs mirror :class:`repro.workloads.netperf.NetperfStream`
+    so the DES run validates the closed form.
+    """
+    from repro.workloads.netperf import (
+        NETBACK_PER_PACKET_US,
+        NETFRONT_PER_PACKET_US,
+        VIRTIO_PER_SEGMENT_US,
+    )
+
+    clock = testbed.clock
+    wire_cycles = testbed.wire.transfer_cycles(SEGMENT_BYTES)
+    bulk = testbed.netstack.bulk_segment_cycles()
+    stages = [StreamStage("wire", wire_cycles)]
+    if derived is None:  # native receive path
+        stages.append(StreamStage("host", bulk))
+        return stages
+    packets = SEGMENT_BYTES // MTU_BYTES + 1
+    if derived.grant_copy_page == 0:  # KVM
+        host = bulk + testbed.machine.costs.vhost_dequeue + clock.cycles_from_us(0.5)
+        guest = (
+            bulk
+            + clock.cycles_from_us(VIRTIO_PER_SEGMENT_US)
+            + derived.delivery_occupancy
+            + derived.virq_complete
+        )
+    else:  # Xen
+        host = bulk + packets * (
+            derived.grant_copy_mtu_batched
+            + clock.cycles_from_us(NETBACK_PER_PACKET_US)
+        )
+        guest = (
+            bulk
+            + packets * clock.cycles_from_us(NETFRONT_PER_PACKET_US)
+            + derived.delivery_occupancy
+            + derived.virq_complete
+        )
+    stages.append(StreamStage("backend", host))
+    stages.append(StreamStage("vcpu0", guest))
+    return stages
+
+
+def run_stream_comparison(segments=200):
+    """Native vs KVM ARM vs Xen ARM TCP_STREAM, packet level."""
+    from repro.core.derived import measure_derived_costs
+    from repro.core.testbed import build_testbed, native_testbed
+
+    results = {}
+    native_tb = native_testbed("arm")
+    results["native"] = StreamSimulation(
+        native_tb, build_stream_stages(native_tb), segments
+    ).run()
+    for key in ("kvm-arm", "xen-arm"):
+        testbed = build_testbed(key)
+        derived = measure_derived_costs(key)
+        results[key] = StreamSimulation(
+            testbed, build_stream_stages(testbed, derived), segments
+        ).run()
+    return results

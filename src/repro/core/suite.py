@@ -1,0 +1,94 @@
+"""One-call entry points: the whole paper, experiment by experiment.
+
+>>> from repro.core import suite
+>>> print(suite.table2_report())          # microbenchmarks, 4 platforms
+>>> print(suite.table3_report())          # KVM ARM hypercall breakdown
+>>> print(suite.table5_report())          # TCP_RR decomposition
+>>> print(suite.figure4_report())         # application benchmarks
+>>> print(suite.ablation_report())        # Section V IRQ distribution
+>>> print(suite.vhe_report())             # Section VI VHE comparison
+"""
+
+from repro.core import reporting
+from repro.core.breakdown import hypercall_breakdown
+from repro.core.irqbalance import run_irq_distribution_ablation
+from repro.core.microbench import MicrobenchmarkSuite
+from repro.core.netanalysis import run_table5
+from repro.core.appbench import run_figure4
+from repro.core.testbed import build_testbed
+from repro.core.vhe_projection import run_vhe_comparison
+from repro.paperdata import PLATFORM_ORDER
+
+
+def run_table2(keys=None):
+    keys = keys or PLATFORM_ORDER
+    return {key: MicrobenchmarkSuite(build_testbed(key)).run_all() for key in keys}
+
+
+def table2_report():
+    return reporting.render_table2(run_table2())
+
+
+def table3_report():
+    return reporting.render_table3(hypercall_breakdown())
+
+
+def table5_report(transactions=40):
+    return reporting.render_table5(run_table5(transactions))
+
+
+def figure4_report(keys=None):
+    keys = keys or PLATFORM_ORDER
+    return reporting.render_figure4(run_figure4(keys), keys)
+
+
+def ablation_report():
+    results = run_irq_distribution_ablation()
+    headers = ["Workload", "Platform", "Single-VCPU IRQs", "Distributed", "Drop (pts)"]
+    rows = [
+        [
+            point.workload,
+            point.key,
+            "%.1f%%" % point.single_overhead_pct,
+            "%.1f%%" % point.distributed_overhead_pct,
+            "%.1f" % point.improvement_pct,
+        ]
+        for point in results.values()
+    ]
+    return reporting.render_table(
+        headers, rows, title="Section V ablation: virtual interrupt distribution"
+    )
+
+
+def vhe_report():
+    comparison = run_vhe_comparison()
+    headers = ["Microbenchmark", "split-mode", "VHE", "speedup"]
+    rows = [
+        [name, "%d" % split, "%d" % vhe, "%.1fx" % speedup]
+        for name, (split, vhe, speedup) in comparison.microbench.items()
+    ]
+    micro = reporting.render_table(
+        headers, rows, title="Section VI: KVM ARM with VHE (microbenchmarks, cycles)"
+    )
+    headers = ["Workload", "split-mode", "VHE", "improvement (pts)"]
+    rows = [
+        [name, "%.2f" % split, "%.2f" % vhe, "%.1f" % pts]
+        for name, (split, vhe, pts) in comparison.applications.items()
+    ]
+    apps = reporting.render_table(
+        headers, rows, title="Section VI: application overhead, split-mode vs VHE"
+    )
+    return micro + "\n\n" + apps
+
+
+def full_report():
+    """Everything, in paper order."""
+    sections = [
+        table2_report(),
+        table3_report(),
+        table5_report(),
+        figure4_report(),
+        ablation_report(),
+        vhe_report(),
+    ]
+    return "\n\n".join(sections)

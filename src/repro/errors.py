@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """A violation of simulation-kernel invariants (e.g. negative delay)."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid platform, hypervisor, or workload configuration."""
+
+
+class HardwareFault(ReproError):
+    """An architecturally invalid operation on a modeled hardware component.
+
+    Examples: accessing an EL2 register from EL1 without VHE, completing a
+    virtual interrupt that was never injected, or a Stage-2 translation
+    fault on an unmapped intermediate physical address.
+    """
+
+
+class ProtocolError(ReproError):
+    """A hypervisor/guest protocol violation (virtio, grant table, event
+    channel) detected by the models."""

@@ -1,0 +1,27 @@
+"""Hypervisor models: Type 2 (KVM-like) and Type 1 (Xen-like).
+
+Both expose the same operation interface (:class:`repro.hv.base.Hypervisor`)
+so the measurement framework in :mod:`repro.core` can run identical
+microbenchmarks and I/O paths over either design on either architecture —
+exactly the paper's four platform columns (KVM/Xen x ARM/x86), plus the
+ARMv8.1 VHE variant of KVM.
+"""
+
+from repro.hv.base import Hypervisor, Vcpu, Vm, VcpuState
+from repro.hv.kvm import KvmHypervisor
+from repro.hv.xen import XenHypervisor
+
+__all__ = ["Hypervisor", "KvmHypervisor", "Vcpu", "VcpuState", "Vm", "XenHypervisor"]
+
+
+def build_hypervisor(kind, machine, vhe=False):
+    """Factory: ``kind`` in {'kvm', 'xen'} on an existing machine."""
+    from repro.errors import ConfigurationError
+
+    if kind == "kvm":
+        return KvmHypervisor(machine, vhe=vhe)
+    if kind == "xen":
+        if vhe:
+            raise ConfigurationError("VHE is a Type 2 (E2H-set) configuration")
+        return XenHypervisor(machine)
+    raise ConfigurationError("unknown hypervisor kind %r" % (kind,))

@@ -1,0 +1,15 @@
+"""KVM: the Type 2 (hosted) hypervisor model.
+
+On ARM (pre-VHE) KVM uses *split-mode virtualization*: a minimal lowvisor
+in EL2 plus the bulk of the hypervisor integrated with the Linux host in
+EL1.  Every VM-to-hypervisor transition therefore pays a double trap and
+a full context switch of the EL1/VGIC/timer state (paper Table III).
+
+With ARMv8.1 VHE, the host kernel runs *in* EL2 (E2H set) and transitions
+stop context switching EL1 state.  On x86, KVM runs in root mode and
+transitions are the hardware VMCS switch.
+"""
+
+from repro.hv.kvm.kvm import KvmHypervisor
+
+__all__ = ["KvmHypervisor"]

@@ -1,0 +1,74 @@
+"""Virtual timer support (paper Section II).
+
+ARM gives each VCPU an architected virtual timer it can program *without
+trapping*.  But when the timer fires it raises a *physical* interrupt,
+which (like all physical interrupts while a VM runs) is taken to EL2 and
+must be handled by the hypervisor and translated into a virtual
+interrupt — so every guest timer tick pays an injection path even though
+arming the timer was free.
+
+x86 guests of this era used an emulated LAPIC timer: *programming* it
+also traps (an APIC access), and expiry is injected by the hypervisor.
+"""
+
+from repro.errors import ConfigurationError
+from repro.hv.base import VIRQ_TIMER
+from repro.hw.cpu.counters import ArchTimer
+
+#: physical IRQ the virtual-timer expiry raises (PPI 27 rerouted to EL2)
+VTIMER_PHYS_IRQ = 27
+
+
+class VcpuTimer:
+    """The per-VCPU virtual timer wiring."""
+
+    def __init__(self, hypervisor, vcpu):
+        self.hypervisor = hypervisor
+        self.vcpu = vcpu
+        self.arch_timer = ArchTimer(hypervisor.engine, name="%s.vtimer" % vcpu.name)
+        self.arch_timer.on_expiry = self._expired
+        self.expirations = 0
+        #: event fired (and re-armed) on each delivery to the guest
+        self.delivered = hypervisor.engine.event("%s.vtimer.delivered" % vcpu.name)
+
+    def guest_program(self, cycles_from_now):
+        """Guest arms the timer.
+
+        On ARM this is free of traps (CNTV_* are directly accessible).
+        On x86 the LAPIC-timer write traps and is emulated; the caller
+        gets a generator to run for the trap cost.
+        """
+        if cycles_from_now <= 0:
+            raise ConfigurationError("timer delta must be positive")
+        machine = self.hypervisor.machine
+        if machine.is_arm:
+            self.arch_timer.program(cycles_from_now)
+            return None
+        return self._x86_program(cycles_from_now)
+
+    def _x86_program(self, cycles_from_now):
+        hv = self.hypervisor
+        yield from hv._exit(self.vcpu, reason="lapic-timer-write")
+        pcpu, costs = self.vcpu.pcpu, hv.costs
+        yield pcpu.op("mmio_decode", costs.mmio_decode, "emul")
+        yield pcpu.op("apic_access", costs.apic_access_kvm, "emul")
+        self.arch_timer.program(cycles_from_now)
+        yield from hv._enter(self.vcpu)
+
+    def _expired(self):
+        """Hardware expiry: physical IRQ to the VCPU's PCPU; the
+        hypervisor injects VIRQ_TIMER through its normal delivery path."""
+        self.expirations += 1
+        if self.delivered.fired:
+            self.delivered.reset()
+        self.vcpu.queue_virq(VIRQ_TIMER)
+        self.hypervisor.deliver_timer_virq(self.vcpu, self.delivered)
+
+
+def attach_timers(hypervisor):
+    """Give every VCPU of every VM a virtual timer; returns the map."""
+    timers = {}
+    for vm in hypervisor.vms:
+        for vcpu in vm.vcpus:
+            timers[vcpu.name] = VcpuTimer(hypervisor, vcpu)
+    return timers

@@ -1,0 +1,12 @@
+"""Xen: the Type 1 (bare-metal) hypervisor model.
+
+The hypervisor itself runs in EL2 (ARM) / root mode (x86) and implements
+only scheduling, memory management, the interrupt controller, and timers.
+All device I/O is offloaded to Dom0, a privileged Linux VM — so every I/O
+interaction pays domain signaling (event channels, physical IPIs, and
+VM switches away from the idle domain) plus grant-copy data movement.
+"""
+
+from repro.hv.xen.xen import XenHypervisor
+
+__all__ = ["XenHypervisor"]

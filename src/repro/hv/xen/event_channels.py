@@ -1,0 +1,67 @@
+"""Xen event channels: the interdomain signaling primitive.
+
+An event channel binds a local port in one domain to a remote port in
+another; EVTCHNOP_send marks the remote port pending and kicks the bound
+VCPU.  This is the notification half of Xen PV I/O (the data half is the
+grant table, :mod:`repro.hw.mem.grant`).
+"""
+
+from repro.errors import ProtocolError
+
+
+class EventChannel:
+    """One interdomain channel endpoint pair."""
+
+    __slots__ = ("port", "local_vcpu", "remote_vcpu", "pending")
+
+    def __init__(self, port, local_vcpu, remote_vcpu):
+        self.port = port
+        self.local_vcpu = local_vcpu
+        self.remote_vcpu = remote_vcpu
+        self.pending = False
+
+
+class EventChannelTable:
+    """All bound channels, port-indexed (a single global table for the
+    machine, which is equivalent to Xen's per-domain tables for our two-
+    domain setups)."""
+
+    def __init__(self):
+        self._next_port = 1
+        self._channels = {}
+        self.sends = 0
+
+    def bind_interdomain(self, local_vcpu, remote_vcpu):
+        """Create a channel pair; returns (local_port, remote_port)."""
+        local = EventChannel(self._next_port, local_vcpu, remote_vcpu)
+        remote = EventChannel(self._next_port + 1, remote_vcpu, local_vcpu)
+        self._channels[local.port] = local
+        self._channels[remote.port] = remote
+        self._next_port += 2
+        return local.port, remote.port
+
+    def send(self, port):
+        """EVTCHNOP_send on ``port``: returns the VCPU to kick."""
+        channel = self._lookup(port)
+        self.sends += 1
+        self._partner(channel).pending = True
+        return channel.remote_vcpu
+
+    def consume_pending(self, port):
+        """The guest's upcall handler clears and handles the pending bit."""
+        channel = self._lookup(port)
+        if not channel.pending:
+            raise ProtocolError("port %d has no pending event" % port)
+        channel.pending = False
+
+    def is_pending(self, port):
+        return self._lookup(port).pending
+
+    def _partner(self, channel):
+        partner_port = channel.port + 1 if channel.port % 2 else channel.port - 1
+        return self._channels[partner_port]
+
+    def _lookup(self, port):
+        if port not in self._channels:
+            raise ProtocolError("unknown event channel port %d" % port)
+        return self._channels[port]

@@ -1,0 +1,80 @@
+"""Xen's credit scheduler (the default in Xen 4.5), simplified.
+
+With the paper's recommended pinning (each VCPU on its own PCPU) the
+scheduler's pick is trivial, but the accounting still matters for the
+oversubscription scenarios the VM Switch microbenchmark represents and
+for the ablation benches that unpin VCPUs.
+"""
+
+from repro.errors import ConfigurationError
+
+WEIGHT_DEFAULT = 256
+CREDITS_PER_TICK = 300
+
+
+class CreditAccount:
+    """Per-VCPU credit state."""
+
+    __slots__ = ("vcpu", "weight", "credits", "runnable")
+
+    def __init__(self, vcpu, weight=WEIGHT_DEFAULT):
+        self.vcpu = vcpu
+        self.weight = weight
+        self.credits = 0
+        self.runnable = False
+
+
+class CreditScheduler:
+    """Credit accounting + per-PCPU run queues with idle fallback."""
+
+    def __init__(self):
+        self._accounts = {}
+        #: pcpu index -> ordered runnable accounts
+        self._runqueues = {}
+
+    def register(self, vcpu, weight=WEIGHT_DEFAULT):
+        if vcpu.name in self._accounts:
+            raise ConfigurationError("vcpu %s already registered" % vcpu.name)
+        account = CreditAccount(vcpu, weight)
+        self._accounts[vcpu.name] = account
+        self._runqueues.setdefault(vcpu.pcpu.index, [])
+        return account
+
+    def wake(self, vcpu):
+        """Mark runnable and queue on its pinned PCPU."""
+        account = self._account(vcpu)
+        if not account.runnable:
+            account.runnable = True
+            self._runqueues[vcpu.pcpu.index].append(account)
+
+    def block(self, vcpu):
+        account = self._account(vcpu)
+        account.runnable = False
+        queue = self._runqueues[vcpu.pcpu.index]
+        if account in queue:
+            queue.remove(account)
+
+    def tick(self):
+        """Periodic credit refill proportional to weight."""
+        total_weight = sum(a.weight for a in self._accounts.values()) or 1
+        for account in self._accounts.values():
+            account.credits += CREDITS_PER_TICK * account.weight // total_weight
+
+    def charge(self, vcpu, amount):
+        self._account(vcpu).credits -= amount
+
+    def pick_next(self, pcpu_index):
+        """Highest-credit runnable VCPU on this PCPU, or None (idle)."""
+        queue = self._runqueues.get(pcpu_index, [])
+        if not queue:
+            return None
+        best = max(queue, key=lambda account: account.credits)
+        return best.vcpu
+
+    def credits_of(self, vcpu):
+        return self._account(vcpu).credits
+
+    def _account(self, vcpu):
+        if vcpu.name not in self._accounts:
+            raise ConfigurationError("vcpu %s not registered" % vcpu.name)
+        return self._accounts[vcpu.name]

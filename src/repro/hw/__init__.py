@@ -1,0 +1,10 @@
+"""Hardware models: CPUs, interrupt controllers, memory system, devices.
+
+Everything in this package models *mechanism* (what state moves where, who
+traps when) with costs drawn from :mod:`repro.hw.costs`, the single home of
+calibrated primitive cycle counts.
+"""
+
+from repro.hw.platform import Platform, arm_m400, x86_r320
+
+__all__ = ["Platform", "arm_m400", "x86_r320"]

@@ -1,0 +1,15 @@
+"""CPU models: ARMv8 exception levels + VHE, and x86 root/non-root + VMCS."""
+
+from repro.hw.cpu.arm import ArmCpu, ExceptionLevel
+from repro.hw.cpu.registers import RegClass, RegisterBank, RegisterFile
+from repro.hw.cpu.x86 import Vmcs, X86Cpu
+
+__all__ = [
+    "ArmCpu",
+    "ExceptionLevel",
+    "RegClass",
+    "RegisterBank",
+    "RegisterFile",
+    "Vmcs",
+    "X86Cpu",
+]

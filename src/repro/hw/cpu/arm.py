@@ -1,0 +1,154 @@
+"""ARMv8 CPU model: exception levels, banked state, traps, and VHE.
+
+Models the architectural mechanisms the paper's analysis rests on:
+
+* EL0/EL1/EL2 privilege levels; EL2 is a *separate mode* with its own
+  (small, pre-VHE) register bank — unlike x86's orthogonal root mode.
+* Software-managed state: trapping to EL2 switches almost nothing by
+  itself; the hypervisor decides what to save/restore (RISC philosophy).
+* Virtualization features (HCR_EL2 traps + Stage-2) that a split-mode
+  hypervisor must toggle when switching between host and VM.
+* ARMv8.1 VHE: the E2H bit, the expanded EL2 register bank, transparent
+  redirection of EL1 sysreg encodings to EL2 registers, and the ``_el21``
+  encodings a VHE hypervisor uses to touch real EL1 (guest) registers.
+"""
+
+import enum
+
+from repro.errors import HardwareFault
+from repro.hw.cpu.registers import REGISTER_NAMES, RegClass, RegisterFile
+
+
+class ExceptionLevel(enum.IntEnum):
+    EL0 = 0
+    EL1 = 1
+    EL2 = 2
+
+
+#: EL1 system registers that gain an EL2 twin under VHE (TTBR1_EL2 is the
+#: canonical example the paper walks through).
+_VHE_TWINNED = list(REGISTER_NAMES[RegClass.EL1_SYS])
+
+
+class ArmCpu:
+    """One physical ARMv8 CPU core's architectural state."""
+
+    def __init__(self, index=0, vhe_capable=False):
+        self.index = index
+        self.vhe_capable = vhe_capable
+        self.current_el = ExceptionLevel.EL1
+        #: The shared (EL0/EL1-visible) register file: GP/FP/EL1 sysregs,
+        #: timer, and the GIC virtual-interface control regs live here.
+        self.regs = RegisterFile()
+        #: Pre-VHE EL2 has only a small dedicated bank (modeled via the
+        #: EL2_CONFIG / EL2_VIRTUAL_MEMORY classes of the main file) plus
+        #: its own stack/vector registers, which we fold into those banks.
+        #: Under VHE (E2H=1) EL2 additionally gets a twin of every EL1
+        #: system register:
+        self._el2_extended = {name: 0 for name in _VHE_TWINNED}
+        self._e2h = False
+        #: Are the EL2 virtualization features (trapping + Stage-2) on?
+        self.virt_features_enabled = False
+        #: VMID of the currently-installed Stage-2 tables (0 = host/none).
+        self.current_vmid = 0
+
+    # --- mode switching ----------------------------------------------------
+
+    def trap_to_el2(self, reason=""):
+        """Hardware exception entry into EL2 (hvc, abort, or IRQ)."""
+        if self.current_el == ExceptionLevel.EL2:
+            raise HardwareFault("already in EL2 (trap reason %r)" % reason)
+        self.current_el = ExceptionLevel.EL2
+        return self.current_el
+
+    def eret(self, target_el):
+        """Exception return from EL2 to EL1 or EL0."""
+        if self.current_el != ExceptionLevel.EL2:
+            raise HardwareFault("eret requires EL2, currently %s" % self.current_el)
+        target_el = ExceptionLevel(target_el)
+        if target_el >= ExceptionLevel.EL2:
+            raise HardwareFault("eret target must be EL0 or EL1")
+        self.current_el = target_el
+        return self.current_el
+
+    # --- VHE (ARMv8.1) -------------------------------------------------------
+
+    @property
+    def e2h(self):
+        return self._e2h
+
+    def set_e2h(self, enabled):
+        """Set the E2H bit at boot (requires VHE-capable silicon)."""
+        if enabled and not self.vhe_capable:
+            raise HardwareFault("E2H requires ARMv8.1 VHE-capable hardware")
+        self._e2h = bool(enabled)
+
+    # --- system register access ------------------------------------------------
+
+    def read_sysreg(self, name):
+        """Read an EL1-encoded system register, honoring VHE redirection.
+
+        With E2H set and the CPU in EL2, accesses using EL1 encodings are
+        transparently rewritten to the EL2 twin — this is what lets an
+        unmodified OS kernel run in EL2 (paper Section VI).
+        """
+        if self._redirects(name):
+            return self._el2_extended[name]
+        return self.regs.read(RegClass.EL1_SYS, name)
+
+    def write_sysreg(self, name, value):
+        if self._redirects(name):
+            self._el2_extended[name] = value
+        else:
+            self.regs.write(RegClass.EL1_SYS, name, value)
+
+    def read_sysreg_el21(self, name):
+        """VHE ``mrs x, <reg>_el21``-style access to the *real* EL1 register.
+
+        Only meaningful (and only architecturally defined) from EL2 with
+        E2H set; the VHE hypervisor uses it to touch guest state.
+        """
+        self._require_el21()
+        return self.regs.read(RegClass.EL1_SYS, name)
+
+    def write_sysreg_el21(self, name, value):
+        self._require_el21()
+        self.regs.write(RegClass.EL1_SYS, name, value)
+
+    def _redirects(self, name):
+        if name not in self._el2_extended and name not in REGISTER_NAMES[RegClass.EL1_SYS]:
+            raise HardwareFault("unknown system register %r" % name)
+        return self._e2h and self.current_el == ExceptionLevel.EL2
+
+    def _require_el21(self):
+        if not (self._e2h and self.current_el == ExceptionLevel.EL2):
+            raise HardwareFault("_el21 encodings require EL2 with E2H set")
+
+    # --- virtualization features --------------------------------------------------
+
+    def enable_virt_features(self, vmid):
+        """Turn on EL2 trapping + Stage-2 translation for a VM."""
+        self.virt_features_enabled = True
+        self.current_vmid = vmid
+
+    def disable_virt_features(self):
+        """Turn them off so EL1 software has full hardware access (host)."""
+        self.virt_features_enabled = False
+        self.current_vmid = 0
+
+    # --- context movement (used by world-switch code) -------------------------------
+
+    def save_context(self, classes):
+        """Snapshot the given register classes to a memory image."""
+        return self.regs.snapshot(classes)
+
+    def load_context(self, image):
+        """Load a memory image back into the register file."""
+        self.regs.load(image)
+
+    def __repr__(self):
+        return "ArmCpu(#%d, %s%s)" % (
+            self.index,
+            self.current_el.name,
+            ", E2H" if self._e2h else "",
+        )

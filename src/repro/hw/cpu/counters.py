@@ -1,0 +1,73 @@
+"""Cycle counters and the architected timer — the measurement instruments.
+
+The paper's methodology: timestamps from cycle counters / ARM architected
+counters, synchronized across all PCPUs, VMs, and the hypervisor, with
+instruction barriers around each read to defeat out-of-order skew.  In
+simulation the engine clock *is* globally synchronized, so we model the
+barriers as their (small) cost and expose the same reading discipline.
+"""
+
+from repro.sim.events import Timeout
+
+#: Cost of the isb barriers + counter read the paper brackets timestamps with.
+TIMESTAMP_READ_CYCLES = 12
+
+
+class CycleCounter:
+    """A per-platform virtual cycle counter (PMCCNTR / TSC analogue)."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def read(self):
+        """Instantaneous raw read (no barrier cost) — for probes."""
+        return self.engine.now
+
+    def read_with_barriers(self):
+        """Generator: barriered read as the paper's driver does it.
+
+        Usage: ``stamp = yield from counter.read_with_barriers()``.
+        The returned stamp is taken *between* the two barriers.
+        """
+        yield Timeout(TIMESTAMP_READ_CYCLES // 2)
+        stamp = self.engine.now
+        yield Timeout(TIMESTAMP_READ_CYCLES - TIMESTAMP_READ_CYCLES // 2)
+        return stamp
+
+
+class ArchTimer:
+    """ARM architected timer: programmable virtual timer per VCPU.
+
+    The VM can program it without trapping; expiry raises a *physical*
+    interrupt that the hypervisor must translate into a virtual one
+    (paper Section II) — callers wire ``on_expiry`` accordingly.
+    """
+
+    def __init__(self, engine, name=""):
+        self.engine = engine
+        self.name = name
+        self._deadline = None
+        self._generation = 0
+        self.on_expiry = None
+
+    @property
+    def armed(self):
+        return self._deadline is not None
+
+    def program(self, cycles_from_now):
+        """Arm the timer (no trap — direct from the VM)."""
+        self._generation += 1
+        generation = self._generation
+        self._deadline = self.engine.now + cycles_from_now
+        self.engine.schedule(cycles_from_now, lambda: self._fire(generation))
+
+    def cancel(self):
+        self._generation += 1
+        self._deadline = None
+
+    def _fire(self, generation):
+        if generation != self._generation:
+            return  # reprogrammed or cancelled since
+        self._deadline = None
+        if self.on_expiry is not None:
+            self.on_expiry()

@@ -1,0 +1,7 @@
+"""Device models: NIC, network wire, block storage."""
+
+from repro.hw.dev.nic import Nic, Packet
+from repro.hw.dev.wire import Wire
+from repro.hw.dev.block import BlockDevice
+
+__all__ = ["BlockDevice", "Nic", "Packet", "Wire"]

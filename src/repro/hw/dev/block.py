@@ -1,0 +1,42 @@
+"""Block storage model: SSD-like (m400) or RAID-HD-like (r320) service times.
+
+Only the service-time envelope matters to the benchmarks (kernbench's
+source tree reads, MySQL's fsyncs): a request costs a fixed access
+latency plus streaming time at the device's throughput.
+"""
+
+from repro.errors import ConfigurationError
+
+
+class BlockDevice:
+    """A block device with simple latency/throughput service times."""
+
+    def __init__(self, engine, clock, name, access_latency_us, throughput_mbps):
+        if access_latency_us < 0 or throughput_mbps <= 0:
+            raise ConfigurationError("invalid block device parameters")
+        self.engine = engine
+        self.clock = clock
+        self.name = name
+        self.access_latency_us = access_latency_us
+        self.throughput_mbps = throughput_mbps
+        self.requests = 0
+        self.bytes_moved = 0
+
+    def service_cycles(self, nbytes):
+        """Cycles for one request of ``nbytes``."""
+        self.requests += 1
+        self.bytes_moved += nbytes
+        stream_us = nbytes / (self.throughput_mbps * 1e6) * 1e6
+        return self.clock.cycles_from_us(self.access_latency_us + stream_us)
+
+
+def sata_ssd(engine, clock):
+    """The m400's 120 GB SATA3 SSD."""
+    return BlockDevice(engine, clock, "sata-ssd", access_latency_us=80,
+                       throughput_mbps=500)
+
+
+def raid5_hd(engine, clock):
+    """The r320's 4x500 GB 7200 RPM RAID5 array."""
+    return BlockDevice(engine, clock, "raid5-hd", access_latency_us=4200,
+                       throughput_mbps=350)

@@ -1,0 +1,78 @@
+"""10 GbE NIC model.
+
+Packets carry a ``stamps`` dict so the measurement framework can do what
+the paper did with tcpdump + the synchronized architected counter: record
+when a packet crosses each layer (wire, data link / physical driver, VM
+driver, application) and decompose latency afterwards (Table V).
+"""
+
+import itertools
+
+from repro.errors import ConfigurationError
+
+_packet_ids = itertools.count(1)
+
+
+class Packet:
+    """One network packet with measurement stamps."""
+
+    __slots__ = ("id", "size", "kind", "stamps", "payload")
+
+    def __init__(self, size, kind="data", payload=None):
+        if size < 0:
+            raise ConfigurationError("packet size must be >= 0")
+        self.id = next(_packet_ids)
+        self.size = size
+        self.kind = kind
+        self.stamps = {}
+        self.payload = payload
+
+    def stamp(self, probe, time):
+        """Record that this packet crossed ``probe`` at ``time`` cycles."""
+        self.stamps[probe] = time
+
+    def interval(self, probe_a, probe_b):
+        """Cycles between two probes (b - a)."""
+        return self.stamps[probe_b] - self.stamps[probe_a]
+
+    def __repr__(self):
+        return "Packet(#%d, %dB, %s)" % (self.id, self.size, self.kind)
+
+
+class Nic:
+    """A NIC port: receives from a wire, raises an IRQ; transmits to a wire.
+
+    ``irq`` is the SPI/vector this port asserts; ``on_receive`` is wired
+    to the host driver (native) or the hypervisor's physical driver path.
+    """
+
+    def __init__(self, engine, name, irq=None):
+        self.engine = engine
+        self.name = name
+        self.irq = irq
+        self.wire = None
+        self.on_receive = None
+        self.rx_packets = 0
+        self.tx_packets = 0
+
+    def attach(self, wire):
+        self.wire = wire
+        wire.connect(self)
+
+    def transmit(self, packet):
+        """DMA from memory done; serialize onto the wire."""
+        if self.wire is None:
+            raise ConfigurationError("NIC %s has no wire attached" % self.name)
+        self.tx_packets += 1
+        packet.stamp("%s.tx" % self.name, self.engine.now)
+        self.wire.carry(packet, sender=self)
+
+    def deliver(self, packet):
+        """Called by the wire when a packet arrives at this port."""
+        self.rx_packets += 1
+        packet.stamp("%s.rx" % self.name, self.engine.now)
+        if self.on_receive is not None:
+            self.on_receive(packet)
+
+    def __repr__(self):
+        return "Nic(%r)" % (self.name,)

@@ -1,0 +1,53 @@
+"""The 10 GbE wire + switch between two NICs.
+
+The paper used a non-blocking 10 GbE switch so that benchmark traffic is
+isolated; we model the path as propagation latency + serialization at
+line rate.  (They note 1 GbE made the *network* the bottleneck and hid
+virtualization overhead — the bandwidth parameter lets benches show that.)
+"""
+
+from repro.errors import ConfigurationError
+
+DEFAULT_BANDWIDTH_BPS = 10e9  # 10 GbE
+DEFAULT_LATENCY_NS = 2300  # one-way: cable + switch port-to-port
+
+
+class Wire:
+    """A full-duplex point-to-point link between exactly two NIC ports."""
+
+    def __init__(self, engine, clock, bandwidth_bps=DEFAULT_BANDWIDTH_BPS,
+                 latency_ns=DEFAULT_LATENCY_NS):
+        if bandwidth_bps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        self.engine = engine
+        self.clock = clock
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_ns = latency_ns
+        self._ports = []
+        self.carried = 0
+
+    def connect(self, nic):
+        if len(self._ports) >= 2:
+            raise ConfigurationError("wire already has two ports")
+        self._ports.append(nic)
+
+    def other_end(self, nic):
+        if nic not in self._ports:
+            raise ConfigurationError("NIC %r not on this wire" % (nic.name,))
+        for port in self._ports:
+            if port is not nic:
+                return port
+        raise ConfigurationError("wire has no second port yet")
+
+    def transfer_cycles(self, size_bytes):
+        """Serialization + propagation delay for one packet, in cycles."""
+        serialize_ns = size_bytes * 8 / self.bandwidth_bps * 1e9
+        return self.clock.cycles_from_ns(serialize_ns + self.latency_ns)
+
+    def carry(self, packet, sender):
+        """Move a packet to the opposite port after the transfer delay."""
+        receiver = self.other_end(sender)
+        self.carried += 1
+        self.engine.schedule(
+            self.transfer_cycles(packet.size), lambda: receiver.deliver(packet)
+        )

@@ -1,0 +1,58 @@
+"""x86 APIC model (local APICs + ICR-based IPIs, optional APICv).
+
+The contrast the paper draws: without vAPIC/APICv hardware, the guest's
+EOI write *traps* to the hypervisor (Table II: ~1.5k cycles vs ARM's 71);
+with vAPIC the completion is hardware-assisted like ARM's.
+"""
+
+from repro.errors import HardwareFault
+
+MAX_VECTOR = 256
+
+
+class LocalApic:
+    """Per-CPU local APIC: IRR/ISR vector bitmaps."""
+
+    def __init__(self, index):
+        self.index = index
+        self.irr = set()  # requested (pending delivery)
+        self.isr = set()  # in service (delivered, awaiting EOI)
+
+    def request(self, vector):
+        if not 0 <= vector < MAX_VECTOR:
+            raise HardwareFault("vector %d out of range" % vector)
+        self.irr.add(vector)
+
+    def deliver_highest(self):
+        """Move the highest-priority requested vector into service."""
+        if not self.irr:
+            raise HardwareFault("no vector pending on LAPIC %d" % self.index)
+        vector = max(self.irr)
+        self.irr.discard(vector)
+        self.isr.add(vector)
+        return vector
+
+    def eoi(self, vector):
+        if vector not in self.isr:
+            raise HardwareFault("EOI for vector %d not in service" % vector)
+        self.isr.discard(vector)
+
+    def has_pending(self):
+        return bool(self.irr)
+
+
+class Apic:
+    """The APIC complex: one LAPIC per CPU + ICR IPI send."""
+
+    def __init__(self, num_cpus):
+        self.num_cpus = num_cpus
+        self.lapics = [LocalApic(i) for i in range(num_cpus)]
+
+    def lapic(self, cpu_index):
+        if not 0 <= cpu_index < self.num_cpus:
+            raise HardwareFault("no LAPIC for cpu %d" % cpu_index)
+        return self.lapics[cpu_index]
+
+    def send_ipi(self, target_cpu, vector):
+        """ICR write: request ``vector`` on the target's LAPIC."""
+        self.lapic(target_cpu).request(vector)

@@ -1,0 +1,206 @@
+"""ARM Generic Interrupt Controller model with virtualization extensions.
+
+What the paper relies on:
+
+* The distributor is *not* virtualization-aware: guest accesses to it trap
+  (Stage-2 abort) and are emulated by the hypervisor — in EL2 for Xen, in
+  the EL1 host for KVM.  This asymmetry is the whole Interrupt Controller
+  Trap / Virtual IPI story of Table II.
+* The CPU interface *is* virtualized: the hypervisor programs list
+  registers (LRs) from EL2 to inject virtual interrupts, and the guest
+  acknowledges/completes them through the GICV interface **without
+  trapping** (paper: 71 cycles for Virtual IRQ Completion).
+* The LR/VMCR/APR state is part of what split-mode KVM must save/restore
+  on every transition — the 3,250-cycle VGIC save of Table III.
+* All physical interrupts are taken to EL2 while a VM runs.
+
+IRQ number spaces follow the GIC convention: SGIs 0-15 (IPIs), PPIs 16-31
+(per-CPU, e.g. the virtual timer is PPI 27), SPIs 32+ (devices).
+"""
+
+from repro.errors import HardwareFault
+
+SGI_RANGE = range(0, 16)
+PPI_RANGE = range(16, 32)
+VIRTUAL_TIMER_PPI = 27
+MAX_IRQ = 1020
+NUM_LIST_REGISTERS = 4
+
+
+class GicDistributor:
+    """Distributor state: enable/pending per IRQ, SGI routing."""
+
+    def __init__(self, num_cpus):
+        self.num_cpus = num_cpus
+        self.enabled = set()
+        #: pending[(cpu, irq)] for banked SGI/PPI, pending[(None, irq)] SPIs
+        self._pending = set()
+        #: SPI -> target cpu index (affinity routing)
+        self.spi_target = {}
+
+    def enable(self, irq):
+        self._check(irq)
+        self.enabled.add(irq)
+
+    def disable(self, irq):
+        self._check(irq)
+        self.enabled.discard(irq)
+
+    def is_enabled(self, irq):
+        return irq in self.enabled
+
+    def set_spi_target(self, irq, cpu_index):
+        if irq in SGI_RANGE or irq in PPI_RANGE:
+            raise HardwareFault("irq %d is banked, cannot set affinity" % irq)
+        self._check(irq)
+        self.spi_target[irq] = cpu_index
+
+    def raise_sgi(self, target_cpu, irq):
+        """Send a software-generated interrupt (physical IPI)."""
+        if irq not in SGI_RANGE:
+            raise HardwareFault("SGI irq must be 0-15, got %d" % irq)
+        self._pending.add((target_cpu, irq))
+
+    def raise_ppi(self, cpu_index, irq):
+        if irq not in PPI_RANGE:
+            raise HardwareFault("PPI irq must be 16-31, got %d" % irq)
+        self._pending.add((cpu_index, irq))
+
+    def raise_spi(self, irq):
+        if irq in SGI_RANGE or irq in PPI_RANGE:
+            raise HardwareFault("irq %d is not an SPI" % irq)
+        self._check(irq)
+        self._pending.add((None, irq))
+
+    def acknowledge(self, cpu_index, irq):
+        """GICC_IAR: claim a pending IRQ on behalf of ``cpu_index``."""
+        if (cpu_index, irq) in self._pending:
+            self._pending.discard((cpu_index, irq))
+        elif (None, irq) in self._pending:
+            self._pending.discard((None, irq))
+        else:
+            raise HardwareFault("irq %d not pending for cpu %d" % (irq, cpu_index))
+        return irq
+
+    def pending_for(self, cpu_index):
+        """IRQs deliverable to ``cpu_index`` right now."""
+        result = []
+        for target, irq in sorted(self._pending, key=lambda pair: pair[1]):
+            if irq not in self.enabled:
+                continue
+            if target == cpu_index:
+                result.append(irq)
+            elif target is None and self.spi_target.get(irq, 0) == cpu_index:
+                result.append(irq)
+        return result
+
+    def _check(self, irq):
+        if not 0 <= irq < MAX_IRQ:
+            raise HardwareFault("irq %d out of range" % irq)
+
+
+class ListRegister:
+    """One LR: holds a single virtual interrupt's injection state."""
+
+    __slots__ = ("virq", "state")
+
+    EMPTY, PENDING, ACTIVE = "empty", "pending", "active"
+
+    def __init__(self):
+        self.virq = None
+        self.state = self.EMPTY
+
+
+class VirtualCpuInterface:
+    """Per-VCPU GIC virtual interface (GICH control + GICV guest view).
+
+    The hypervisor writes LRs (from EL2); the guest acknowledges and
+    completes through GICV *without trapping* — the completion directly
+    deactivates the LR in hardware.
+    """
+
+    def __init__(self, name=""):
+        self.name = name
+        self.list_registers = [ListRegister() for _ in range(NUM_LIST_REGISTERS)]
+        #: virqs that didn't fit in LRs (hypervisor software overflow list)
+        self.overflow = []
+
+    def inject(self, virq):
+        """Hypervisor (EL2): place ``virq`` in a free LR, else overflow."""
+        for lr in self.list_registers:
+            if lr.state == ListRegister.EMPTY:
+                lr.virq = virq
+                lr.state = ListRegister.PENDING
+                return True
+        self.overflow.append(virq)
+        return False
+
+    def guest_acknowledge(self):
+        """Guest GICV_IAR read: highest-priority pending virq -> active."""
+        for lr in self.list_registers:
+            if lr.state == ListRegister.PENDING:
+                lr.state = ListRegister.ACTIVE
+                return lr.virq
+        raise HardwareFault("guest IAR with no pending virtual interrupt")
+
+    def guest_complete(self, virq):
+        """Guest GICV EOI+deactivate: hardware completes, no trap."""
+        for lr in self.list_registers:
+            if lr.virq == virq and lr.state == ListRegister.ACTIVE:
+                lr.virq = None
+                lr.state = ListRegister.EMPTY
+                return
+        raise HardwareFault("guest completed virq %r that is not active" % (virq,))
+
+    def refill_from_overflow(self):
+        """Hypervisor maintenance: move overflowed virqs into freed LRs."""
+        moved = 0
+        while self.overflow:
+            for lr in self.list_registers:
+                if lr.state == ListRegister.EMPTY:
+                    lr.virq = self.overflow.pop(0)
+                    lr.state = ListRegister.PENDING
+                    moved += 1
+                    break
+            else:
+                break
+        return moved
+
+    def pending_count(self):
+        return sum(1 for lr in self.list_registers if lr.state == ListRegister.PENDING)
+
+    def has_pending(self):
+        return self.pending_count() > 0 or bool(self.overflow)
+
+    def snapshot(self):
+        """The LR/state image KVM saves on every world switch (Table III)."""
+        return {
+            "lrs": [(lr.virq, lr.state) for lr in self.list_registers],
+            "overflow": list(self.overflow),
+        }
+
+    def load(self, image):
+        for lr, (virq, state) in zip(self.list_registers, image["lrs"]):
+            lr.virq = virq
+            lr.state = state
+        self.overflow = list(image["overflow"])
+
+
+class Gic:
+    """The whole GIC: distributor + one virtual interface per VCPU slot."""
+
+    def __init__(self, num_cpus):
+        self.num_cpus = num_cpus
+        self.distributor = GicDistributor(num_cpus)
+        self._virtual_interfaces = {}
+
+    def virtual_interface(self, key):
+        """The virtual CPU interface for a VCPU key (created on demand).
+
+        Physically there is one virtual interface per PCPU; its state is
+        context-switched per-VCPU by the hypervisor, which is equivalent
+        to (and simpler as) one logical interface per VCPU.
+        """
+        if key not in self._virtual_interfaces:
+            self._virtual_interfaces[key] = VirtualCpuInterface(name=str(key))
+        return self._virtual_interfaces[key]

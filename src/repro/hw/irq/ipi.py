@@ -1,0 +1,28 @@
+"""Physical inter-processor interrupt fabric.
+
+Delivers a physical IRQ to a target PCPU after the platform's IPI wire
+latency.  The receiving PCPU's installed interrupt handler (normally the
+hypervisor's — all physical IRQs go to EL2/root mode while a VM runs)
+is invoked as a new simulation process.
+"""
+
+from repro.errors import ConfigurationError
+
+
+class IpiFabric:
+    """Routes cross-CPU interrupt signals with wire latency."""
+
+    def __init__(self, engine, wire_cycles):
+        self.engine = engine
+        self.wire_cycles = wire_cycles
+        #: statistics: count of IPIs sent, for workload accounting
+        self.sent = 0
+
+    def send(self, target_pcpu, irq, payload=None):
+        """Raise ``irq`` on ``target_pcpu`` after the wire delay."""
+        if target_pcpu is None:
+            raise ConfigurationError("IPI needs a target PCPU")
+        self.sent += 1
+        self.engine.schedule(
+            self.wire_cycles, lambda: target_pcpu.raise_physical_irq(irq, payload)
+        )

@@ -1,0 +1,40 @@
+"""Address spaces of the ARM Stage-2 world (paper Section II).
+
+With Stage-2 translation enabled the architecture defines three spaces:
+Virtual Addresses (VA), Intermediate Physical Addresses (IPA — the VM's
+view of physical memory, called GPA here for guest-physical), and
+Physical Addresses (PA/HPA — machine addresses).  Stage-2, configured in
+EL2, translates IPA -> PA.
+"""
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4 KiB granule
+
+
+class _TypedAddress(int):
+    """An int subtype used to keep guest- and host-physical addresses
+    from being mixed up silently."""
+
+    def __repr__(self):
+        return "%s(0x%x)" % (type(self).__name__, int(self))
+
+    @property
+    def page(self):
+        return int(self) >> PAGE_SHIFT
+
+    @property
+    def offset(self):
+        return int(self) & (PAGE_SIZE - 1)
+
+
+class GPA(_TypedAddress):
+    """Guest-physical (the architecture's Intermediate Physical Address)."""
+
+
+class HPA(_TypedAddress):
+    """Host-physical (machine address)."""
+
+
+def page_of(address):
+    """Page frame number of an address."""
+    return int(address) >> PAGE_SHIFT

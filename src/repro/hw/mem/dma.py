@@ -1,0 +1,42 @@
+"""DMA engine: where the device writes incoming data.
+
+The receive-path difference the paper highlights:
+
+* KVM/virtio: the NIC can DMA straight into a guest-visible buffer
+  (the host maintains the virtio rings over guest memory) — zero copy.
+* Xen: Dom0 cannot point the NIC at DomU memory, so DMA lands in a Dom0
+  kernel buffer and the payload is grant-copied into the guest.
+"""
+
+from repro.errors import ConfigurationError
+
+
+class DmaEngine:
+    """Tracks DMA target buffers and their cost implications."""
+
+    GUEST_DIRECT = "guest-direct"  # zero copy: device -> guest buffer
+    BOUNCE = "bounce"  # device -> backend buffer, then copy
+
+    def __init__(self, mode, costs):
+        if mode not in (self.GUEST_DIRECT, self.BOUNCE):
+            raise ConfigurationError("unknown DMA mode %r" % (mode,))
+        self.mode = mode
+        self.costs = costs
+        self.transfers = 0
+        self.bounced_bytes = 0
+
+    @property
+    def zero_copy(self):
+        return self.mode == self.GUEST_DIRECT
+
+    def landing_cost(self, nbytes):
+        """Cycles of CPU work to make DMA'd data guest-visible.
+
+        Zero copy: nothing beyond ring bookkeeping (charged elsewhere).
+        Bounce: a full copy of the payload into the guest-shared buffer.
+        """
+        self.transfers += 1
+        if self.zero_copy:
+            return 0
+        self.bounced_bytes += nbytes
+        return self.costs.copy_cycles(nbytes)

@@ -1,0 +1,12 @@
+"""Operating-system model: the Linux-like kernel both hosts and guests run.
+
+The workloads only exercise the kernel through costed paths (syscalls,
+scheduler operations, network-stack traversals, driver work); this package
+is the single home of those costs.
+"""
+
+from repro.os.netstack import NetstackModel
+from repro.os.kernel import KernelModel
+from repro.os.sched import CfsScheduler
+
+__all__ = ["CfsScheduler", "KernelModel", "NetstackModel"]

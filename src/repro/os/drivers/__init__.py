@@ -1,0 +1,6 @@
+"""Guest-side paravirtual drivers and the host physical NIC driver."""
+
+from repro.os.drivers.virtio_net import VirtioNetFrontend
+from repro.os.drivers.xen_netfront import XenNetfront
+
+__all__ = ["VirtioNetFrontend", "XenNetfront"]

@@ -1,0 +1,59 @@
+"""Process-level execution on simulated CPUs.
+
+A :class:`VcpuExecutor` serializes work items on one (V)CPU — the
+queueing effects (tasks waiting behind interrupt processing, idle gaps
+while a partner runs elsewhere) emerge from the discrete-event engine
+rather than being folded into closed-form averages.
+
+Used by the process-level hackbench simulation to cross-validate the
+closed-form Figure 4 model.
+"""
+
+from repro.sim import Channel, Timeout
+
+
+class VcpuExecutor:
+    """One CPU's serialized work queue."""
+
+    def __init__(self, engine, name):
+        self.engine = engine
+        self.name = name
+        self._channel = Channel(engine, "%s.work" % name)
+        self.busy_cycles = 0
+        self.items = 0
+        self._proc = engine.spawn(self._run(), name="%s.executor" % name)
+
+    def submit(self, cycles, done_event=None):
+        """Queue ``cycles`` of work; ``done_event`` fires on completion."""
+        self._channel.put((cycles, done_event))
+
+    def _run(self):
+        while True:
+            cycles, done = yield from self._channel.get()
+            yield Timeout(cycles)
+            self.busy_cycles += cycles
+            self.items += 1
+            if done is not None:
+                done.fire(self.engine.now)
+
+    @property
+    def queue_depth(self):
+        return len(self._channel)
+
+
+class ExecutorPool:
+    """N executors with round-robin task placement."""
+
+    def __init__(self, engine, count, prefix="cpu"):
+        self.executors = [
+            VcpuExecutor(engine, "%s%d" % (prefix, index)) for index in range(count)
+        ]
+
+    def __len__(self):
+        return len(self.executors)
+
+    def __getitem__(self, index):
+        return self.executors[index % len(self.executors)]
+
+    def total_busy_cycles(self):
+        return sum(executor.busy_cycles for executor in self.executors)

@@ -1,0 +1,66 @@
+"""A CFS-like process scheduler model for guest/host kernels.
+
+Used by workload models that are scheduler-heavy (hackbench) and by the
+application benchmark runner to account run-queue behavior when many
+tasks share the 4 VCPUs of the paper's test configuration.
+"""
+
+from repro.errors import ConfigurationError
+
+
+class Task:
+    """A schedulable entity with CFS-style virtual runtime."""
+
+    __slots__ = ("name", "weight", "vruntime", "runnable")
+
+    def __init__(self, name, weight=1024):
+        if weight <= 0:
+            raise ConfigurationError("task weight must be positive")
+        self.name = name
+        self.weight = weight
+        self.vruntime = 0.0
+        self.runnable = True
+
+
+class CfsScheduler:
+    """Weighted-fair pick-next over a set of tasks on N CPUs."""
+
+    def __init__(self, num_cpus):
+        if num_cpus < 1:
+            raise ConfigurationError("need at least one CPU")
+        self.num_cpus = num_cpus
+        self._tasks = {}
+        self.switches = 0
+
+    def add_task(self, task):
+        if task.name in self._tasks:
+            raise ConfigurationError("duplicate task %r" % task.name)
+        self._tasks[task.name] = task
+
+    def remove_task(self, name):
+        self._tasks.pop(name, None)
+
+    def wake(self, name):
+        self._tasks[name].runnable = True
+
+    def sleep(self, name):
+        self._tasks[name].runnable = False
+
+    def runnable_tasks(self):
+        return [task for task in self._tasks.values() if task.runnable]
+
+    def pick_next(self):
+        """Minimum-vruntime runnable task (ties by name for determinism)."""
+        runnable = self.runnable_tasks()
+        if not runnable:
+            return None
+        self.switches += 1
+        return min(runnable, key=lambda task: (task.vruntime, task.name))
+
+    def account(self, task, cycles):
+        """Charge ``cycles`` of CPU to ``task`` (weight-scaled vruntime)."""
+        task.vruntime += cycles * 1024.0 / task.weight
+
+    def load(self):
+        """Runnable tasks per CPU — >1 means the run queues are saturated."""
+        return len(self.runnable_tasks()) / self.num_cpus

@@ -1,0 +1,35 @@
+"""Cycle/time conversion for a simulated machine.
+
+The engine counts cycles; real-world quantities (wire latencies, packet
+serialization times, microsecond reports like paper Table V) are converted
+through the platform's CPU frequency.
+"""
+
+from repro.errors import ConfigurationError
+
+
+class Clock:
+    """Converts between cycles and wall-clock time at a fixed frequency."""
+
+    def __init__(self, frequency_hz):
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive, got %r" % frequency_hz)
+        self.frequency_hz = frequency_hz
+
+    def cycles_from_ns(self, nanoseconds):
+        """Nanoseconds -> cycles, rounded to the nearest cycle (min 0)."""
+        return max(0, round(nanoseconds * self.frequency_hz / 1e9))
+
+    def cycles_from_us(self, microseconds):
+        return self.cycles_from_ns(microseconds * 1e3)
+
+    def ns_from_cycles(self, cycles):
+        """Cycles -> nanoseconds (float)."""
+        return cycles * 1e9 / self.frequency_hz
+
+    def us_from_cycles(self, cycles):
+        """Cycles -> microseconds (float)."""
+        return cycles * 1e6 / self.frequency_hz
+
+    def __repr__(self):
+        return "Clock(%.2f GHz)" % (self.frequency_hz / 1e9)

@@ -1,0 +1,139 @@
+"""The discrete-event engine: a deterministic cycle-granular event loop."""
+
+import heapq
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, SimEvent, Timeout
+from repro.sim.process import Process
+
+
+class Engine:
+    """Deterministic discrete-event engine with integer cycle time.
+
+    Events scheduled for the same cycle run in scheduling order (FIFO),
+    making every simulation fully reproducible.
+    """
+
+    def __init__(self):
+        self._now = 0
+        self._queue = []  # heap of (time, seq, callable)
+        self._seq = 0
+        self._processes = []
+
+    @property
+    def now(self):
+        """Current simulation time in cycles."""
+        return self._now
+
+    def event(self, name=""):
+        """Create a new :class:`SimEvent` bound to this engine."""
+        return SimEvent(self, name)
+
+    def schedule(self, delay, callback):
+        """Run ``callback()`` after ``delay`` cycles."""
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past (delay=%d)" % delay)
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
+
+    def spawn(self, generator, name=""):
+        """Start a new process from a generator; returns the Process."""
+        process = Process(self, generator, name)
+        self._processes.append(process)
+        self.schedule(0, lambda: process.resume(None))
+        return process
+
+    def wake(self, process, value):
+        """Schedule ``process`` to resume with ``value`` this cycle."""
+        self.schedule(0, lambda: process.resume(value))
+
+    def dispatch(self, process, command):
+        """Suspend ``process`` according to the yielded ``command``."""
+        if isinstance(command, Timeout):
+            self.schedule(command.delay, lambda: process.resume(None))
+        elif isinstance(command, SimEvent):
+            command.add_waiter(process)
+        elif isinstance(command, AllOf):
+            self._wait_all(process, command.events)
+        elif isinstance(command, AnyOf):
+            self._wait_any(process, command.events)
+        elif isinstance(command, Process):
+            command.add_join_waiter(process)
+        else:
+            raise SimulationError(
+                "process %r yielded unsupported command %r" % (process.name, command)
+            )
+
+    def _wait_all(self, process, events):
+        pending = [event for event in events if not event.fired]
+        remaining = len(pending)
+        if not remaining:
+            self.wake(process, [event.value for event in events])
+            return
+        state = {"remaining": remaining}
+
+        def make_callback():
+            def callback(_value):
+                state["remaining"] -= 1
+                if state["remaining"] == 0:
+                    self.wake(process, [event.value for event in events])
+
+            return callback
+
+        for event in pending:
+            event.on_fire(make_callback())
+
+    def _wait_any(self, process, events):
+        state = {"done": False}
+
+        def make_callback(index):
+            def callback(value):
+                if not state["done"]:
+                    state["done"] = True
+                    self.wake(process, (index, value))
+
+            return callback
+
+        for index, event in enumerate(events):
+            if event.fired:
+                make_callback(index)(event.value)
+                return
+        for index, event in enumerate(events):
+            event.on_fire(make_callback(index))
+
+    def run(self, until=None):
+        """Run the event loop.
+
+        Stops when the queue is empty, or when simulation time would pass
+        ``until`` (the clock then rests exactly at ``until``).
+        """
+        while self._queue:
+            time, _seq, callback = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                return
+            heapq.heappop(self._queue)
+            if time < self._now:
+                raise SimulationError("time went backwards: %d < %d" % (time, self._now))
+            self._now = time
+            callback()
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_until_fired(self, event, limit=None):
+        """Run until ``event`` fires; returns its value.
+
+        ``limit`` (cycles) guards against livelock; exceeding it raises
+        :class:`SimulationError`.
+        """
+        while self._queue and not event.fired:
+            time, _seq, callback = heapq.heappop(self._queue)
+            if limit is not None and time > limit:
+                raise SimulationError(
+                    "event %r did not fire within %d cycles" % (event.name, limit)
+                )
+            self._now = time
+            callback()
+        if not event.fired:
+            raise SimulationError("deadlock: queue drained before %r fired" % (event.name,))
+        return event.value

@@ -1,0 +1,43 @@
+"""Application workload models for the Figure 4 benchmarks (Table IV)."""
+
+from repro.workloads.base import (
+    CpuWorkloadModel,
+    ServerWorkloadModel,
+    WorkloadResult,
+)
+from repro.workloads.kernbench import Kernbench
+from repro.workloads.hackbench import Hackbench
+from repro.workloads.specjvm import SpecJvm2008
+from repro.workloads.netperf import NetperfRR, NetperfStream, NetperfMaerts
+from repro.workloads.apache import Apache
+from repro.workloads.memcached import Memcached
+from repro.workloads.mysql import MySql
+
+#: Figure 4's x-axis, in order.
+FIGURE4_WORKLOADS = [
+    Kernbench(),
+    Hackbench(),
+    SpecJvm2008(),
+    NetperfRR(),
+    NetperfStream(),
+    NetperfMaerts(),
+    Apache(),
+    Memcached(),
+    MySql(),
+]
+
+__all__ = [
+    "Apache",
+    "CpuWorkloadModel",
+    "FIGURE4_WORKLOADS",
+    "Hackbench",
+    "Kernbench",
+    "Memcached",
+    "MySql",
+    "NetperfMaerts",
+    "NetperfRR",
+    "NetperfStream",
+    "ServerWorkloadModel",
+    "SpecJvm2008",
+    "WorkloadResult",
+]

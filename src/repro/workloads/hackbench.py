@@ -1,0 +1,23 @@
+"""Hackbench: 100 process groups x 500 loops over Unix domain sockets.
+
+The paper's scheduler stress test: "lots of threads that are sleeping and
+waking up, requiring frequent IPIs for rescheduling."  Its virtualization
+cost is dominated by virtual IPI delivery — which is why Xen ARM, with
+its ~2x faster virtual IPIs, posts its biggest win over KVM ARM here
+(and why the paper notes even that win is only ~5% of native).
+"""
+
+from repro.workloads.base import CpuWorkloadModel
+
+
+class Hackbench(CpuWorkloadModel):
+    name = "Hackbench"
+    #: ~4 s across 4 cores
+    native_gcycles = 40.0
+    tlb_misses_per_kcycle = 0.3
+    timer_irqs_per_gcycle = 110.0
+    #: the defining rate: cross-VCPU rescheduling IPIs from the constant
+    #: sleep/wake churn of 100 x 20 communicating tasks
+    resched_ipis_per_gcycle = 9500.0
+    stage2_exits_per_gcycle = 200.0
+    disk_irqs_per_gcycle = 0.0

@@ -1,0 +1,26 @@
+"""Kernbench: Linux 3.17 allnoconfig compile (paper Table IV).
+
+A compile is CPU-bound with heavy process churn: the virtualization tax
+is the nested-paging walk on TLB misses, timer ticks that now need
+virtual-interrupt delivery, rescheduling IPIs between VCPUs, Stage-2
+fixup exits from fork/exec page-table churn, and a trickle of block I/O
+completions for source reads and object writes.
+"""
+
+from repro.workloads.base import CpuWorkloadModel
+
+
+class Kernbench(CpuWorkloadModel):
+    name = "Kernbench"
+    #: ~25 s of busy compile across 4 cores at ~2.4 GHz
+    native_gcycles = 240.0
+    #: compilers thrash the TLB: ~0.5 walked misses per kcycle
+    tlb_misses_per_kcycle = 0.5
+    #: 250 Hz ticks x 4 VCPUs, scaled per Gcycle of 4-core execution
+    timer_irqs_per_gcycle = 110.0
+    #: make -j spawns/reaps constantly: cross-VCPU wakeups
+    resched_ipis_per_gcycle = 900.0
+    #: fork/exec page-table churn that exits to the hypervisor
+    stage2_exits_per_gcycle = 1000.0
+    #: source tree reads / object writes via the paravirtual disk
+    disk_irqs_per_gcycle = 500.0

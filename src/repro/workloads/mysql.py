@@ -1,0 +1,21 @@
+"""MySQL 5.5 under SysBench, 200 parallel transactions (Table IV).
+
+OLTP mixes CPU (query execution), paravirtual disk I/O (log flushes and
+data pages), and light network chatter with the SysBench client.  Figure
+4 shows moderate overhead everywhere, Xen slightly worse than KVM on ARM
+because every disk and network completion runs the Dom0 signaling path.
+"""
+
+from repro.workloads.base import CpuWorkloadModel
+
+
+class MySql(CpuWorkloadModel):
+    name = "MySQL"
+    native_gcycles = 120.0
+    tlb_misses_per_kcycle = 0.3
+    timer_irqs_per_gcycle = 110.0
+    resched_ipis_per_gcycle = 600.0
+    stage2_exits_per_gcycle = 300.0
+    #: the defining rate: fsync-heavy OLTP drives constant virtual disk
+    #: kicks and completion interrupts
+    disk_irqs_per_gcycle = 2000.0

@@ -1,0 +1,21 @@
+"""SPECjvm2008 (Linaro AArch64 OpenJDK port, per Table IV).
+
+JIT-compiled CPU work with a garbage collector: modest TLB pressure from
+the moving heap, GC-driven Stage-2 exits, and little else — the paper
+groups it with the CPU-intensive workloads where all hypervisors are
+within a few percent of native.
+"""
+
+from repro.workloads.base import CpuWorkloadModel
+
+
+class SpecJvm2008(CpuWorkloadModel):
+    name = "SPECjvm2008"
+    native_gcycles = 600.0
+    #: JIT code + large heap: moderate TLB walk pressure
+    tlb_misses_per_kcycle = 0.35
+    timer_irqs_per_gcycle = 110.0
+    resched_ipis_per_gcycle = 150.0
+    #: GC heap growth / card-table faults exiting to the hypervisor
+    stage2_exits_per_gcycle = 1200.0
+    disk_irqs_per_gcycle = 0.0

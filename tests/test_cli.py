@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+    def test_micro_platform_choices(self):
+        args = build_parser().parse_args(["micro", "--platform", "xen-arm"])
+        assert args.platform == "xen-arm"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["micro", "--platform", "vmware"])
+
+    def test_table5_transactions_flag(self):
+        args = build_parser().parse_args(["table5", "--transactions", "7"])
+        assert args.transactions == 7
+
+
+class TestExecution:
+    def test_micro_command(self, capsys):
+        assert main(["micro", "--platform", "xen-arm"]) == 0
+        out = capsys.readouterr().out
+        assert "Hypercall" in out
+        assert "376" in out
+
+    def test_figures_command(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "Figure 5" in out
+
+    def test_table3_command(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "VGIC Regs" in out
+        assert "3250" in out
+
+    def test_table2_command(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Microbenchmark" in out
+        assert "kvm-arm" in out

@@ -1,0 +1,122 @@
+"""No-hardcoding integrity: composed results must track the primitives.
+
+These tests perturb primitive costs and verify the composed Table II
+operations move exactly as the modeled paths dictate — the property that
+distinguishes a simulation from a lookup table.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.microbench import MicrobenchmarkSuite
+from repro.core.testbed import build_testbed
+from repro.hw.costs import ArmCosts, X86Costs
+from repro.hw.cpu.registers import RegClass
+
+
+def measure(key, costs=None, name="Hypercall"):
+    suite = MicrobenchmarkSuite(build_testbed(key, costs=costs))
+    return {
+        "Hypercall": suite.hypercall,
+        "Interrupt Controller Trap": suite.interrupt_controller_trap,
+        "I/O Latency Out": suite.io_latency_out,
+        "VM Switch": suite.vm_switch,
+    }[name]().cycles
+
+
+class TestArmComposition:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 3000))
+    def test_vgic_save_delta_flows_through_kvm_hypercall(self, delta):
+        costs = ArmCosts()
+        base = measure("kvm-arm", ArmCosts())
+        costs.save[RegClass.VGIC] += delta
+        assert measure("kvm-arm", costs) == base + delta
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 500))
+    def test_trap_cost_counts_twice_per_kvm_hypercall(self, delta):
+        """The split-mode double trap: trap cost appears twice (VM->EL2
+        and host hvc->EL2)."""
+        costs = ArmCosts()
+        costs.trap_to_el2 += delta
+        base = measure("kvm-arm", ArmCosts())
+        assert measure("kvm-arm", costs) == base + 2 * delta
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 500))
+    def test_xen_hypercall_untouched_by_kvm_primitives(self, delta):
+        """Xen's hypercall never touches the full save/restore costs."""
+        costs = ArmCosts()
+        costs.save[RegClass.VGIC] += delta
+        costs.restore[RegClass.EL1_SYS] += delta
+        base = measure("xen-arm", ArmCosts())
+        assert measure("xen-arm", costs) == base
+
+    def test_xen_light_switch_primitives_flow_through(self):
+        costs = ArmCosts()
+        costs.gp_save_light += 111
+        assert measure("xen-arm", costs) == measure("xen-arm", ArmCosts()) + 111
+
+    def test_vm_switch_uses_thread_switch_only_for_kvm(self):
+        kvm_costs = ArmCosts()
+        kvm_costs.host_thread_switch += 777
+        assert (
+            measure("kvm-arm", kvm_costs, "VM Switch")
+            == measure("kvm-arm", ArmCosts(), "VM Switch") + 777
+        )
+        xen_costs = ArmCosts()
+        xen_costs.host_thread_switch += 777
+        assert (
+            measure("xen-arm", xen_costs, "VM Switch")
+            == measure("xen-arm", ArmCosts(), "VM Switch")
+        )
+
+    def test_xen_ctx_extra_flows_into_xen_switch(self):
+        costs = ArmCosts()
+        costs.xen_ctx_extra += 500
+        assert (
+            measure("xen-arm", costs, "VM Switch")
+            == measure("xen-arm", ArmCosts(), "VM Switch") + 500
+        )
+
+
+class TestX86Composition:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_vmexit_delta_flows_through_both_hypervisors(self, delta):
+        for key in ("kvm-x86", "xen-x86"):
+            costs = X86Costs()
+            costs.vmexit_hw += delta
+            assert measure(key, costs) == measure(key, X86Costs()) + delta
+
+    def test_io_out_isolated_from_dispatch_on_x86_kvm(self):
+        """The ioeventfd fast path skips the exit dispatch entirely."""
+        costs = X86Costs()
+        costs.kvm_exit_dispatch += 999
+        assert (
+            measure("kvm-x86", costs, "I/O Latency Out")
+            == measure("kvm-x86", X86Costs(), "I/O Latency Out")
+        )
+
+    def test_arm_io_out_does_pay_dispatch(self):
+        costs = ArmCosts()
+        costs.kvm_exit_dispatch += 999
+        assert (
+            measure("kvm-arm", costs, "I/O Latency Out")
+            == measure("kvm-arm", ArmCosts(), "I/O Latency Out") + 999
+        )
+
+
+class TestCrossPlatformIsolation:
+    def test_arm_and_x86_cost_models_are_independent_instances(self):
+        a = build_testbed("kvm-arm")
+        b = build_testbed("kvm-x86")
+        assert a.machine.costs is not b.machine.costs
+        assert type(a.machine.costs) is not type(b.machine.costs)
+
+    def test_fresh_testbeds_get_fresh_cost_models(self):
+        a = build_testbed("kvm-arm")
+        a.machine.costs.trap_to_el2 += 1000
+        b = build_testbed("kvm-arm")
+        assert b.machine.costs.trap_to_el2 == ArmCosts().trap_to_el2

@@ -1,0 +1,105 @@
+"""Tests for the process-level hackbench simulation and VcpuExecutor."""
+
+import pytest
+
+from repro.core.derived import measure_derived_costs
+from repro.core.testbed import build_testbed, native_testbed
+from repro.os.procsim import ExecutorPool, VcpuExecutor
+from repro.sim import Engine
+from repro.workloads.hackbench_sim import HackbenchSimulation
+
+
+class TestVcpuExecutor:
+    def test_serializes_work(self):
+        engine = Engine()
+        executor = VcpuExecutor(engine, "cpu0")
+        stamps = []
+        for index in range(3):
+            done = engine.event()
+            done.on_fire(lambda value: stamps.append(value))
+            executor.submit(100, done)
+        engine.run()
+        assert stamps == [100, 200, 300]
+        assert executor.busy_cycles == 300
+        assert executor.items == 3
+
+    def test_queue_depth_observable(self):
+        engine = Engine()
+        executor = VcpuExecutor(engine, "cpu0")
+        executor.submit(1000)
+        executor.submit(1000)
+        engine.run(until=500)
+        # One item in flight (popped), one still queued.
+        assert executor.queue_depth == 1
+
+    def test_pool_round_robin(self):
+        engine = Engine()
+        pool = ExecutorPool(engine, 4)
+        assert pool[0] is pool[4]
+        assert pool[1] is not pool[2]
+        assert len(pool) == 4
+
+
+class TestHackbenchSimulation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        native = HackbenchSimulation(
+            native_testbed("arm"), derived=None, pairs=12, loops=12
+        ).run()
+        kvm = HackbenchSimulation(
+            build_testbed("kvm-arm"),
+            derived=measure_derived_costs("kvm-arm"),
+            pairs=12,
+            loops=12,
+        ).run()
+        xen = HackbenchSimulation(
+            build_testbed("xen-arm"),
+            derived=measure_derived_costs("xen-arm"),
+            pairs=12,
+            loops=12,
+        ).run()
+        return native, kvm, xen
+
+    def test_all_messages_delivered(self, results):
+        native, kvm, xen = results
+        assert native.messages == kvm.messages == xen.messages == 144
+
+    def test_ordering_matches_paper(self, results):
+        """native < Xen ARM < KVM ARM (Figure 4's Hackbench bars)."""
+        native, kvm, xen = results
+        assert native.total_cycles < xen.total_cycles < kvm.total_cycles
+
+    def test_difference_is_modest(self, results):
+        """The paper: Xen's 2x faster virtual IPIs buy only a small
+        end-to-end difference once diluted by real work."""
+        native, kvm, xen = results
+        assert kvm.normalized_to(native) < 1.35
+        assert kvm.normalized_to(native) - xen.normalized_to(native) < 0.20
+
+    def test_agrees_with_closed_form_model(self, results):
+        """The DES result and the Figure 4 event-mix model must tell the
+        same story (within a few points)."""
+        from repro.core.appbench import make_context
+        from repro.workloads import Hackbench
+
+        native, kvm, _xen = results
+        derived = measure_derived_costs("kvm-arm")
+        closed_form = Hackbench().run(derived, make_context("kvm-arm"))
+        assert kvm.normalized_to(native) == pytest.approx(
+            closed_form.normalized, abs=0.10
+        )
+
+    def test_deterministic(self):
+        def run_once():
+            return HackbenchSimulation(
+                build_testbed("kvm-arm"),
+                derived=measure_derived_costs("kvm-arm"),
+                pairs=6,
+                loops=6,
+            ).run()
+
+        assert run_once().total_cycles == run_once().total_cycles
+
+    def test_busy_cycles_bounded_by_makespan(self, results):
+        for result in results:
+            assert result.cpu_busy_cycles <= result.total_cycles * 4

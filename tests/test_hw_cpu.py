@@ -1,0 +1,204 @@
+"""Unit tests for the ARM and x86 CPU models."""
+
+import pytest
+
+from repro.errors import HardwareFault
+from repro.hw.cpu import ArmCpu, ExceptionLevel, RegClass, RegisterFile, Vmcs, X86Cpu
+from repro.hw.cpu.registers import REGISTER_NAMES, RegisterBank, fresh_context_image
+
+
+class TestRegisterBank:
+    def test_default_zero(self):
+        bank = RegisterBank(RegClass.GP)
+        assert bank.read("x0") == 0
+
+    def test_write_read_round_trip(self):
+        bank = RegisterBank(RegClass.GP)
+        bank.write("x3", 0xDEAD)
+        assert bank.read("x3") == 0xDEAD
+
+    def test_unknown_register_rejected(self):
+        bank = RegisterBank(RegClass.GP)
+        with pytest.raises(HardwareFault):
+            bank.read("ttbr0_el1")
+        with pytest.raises(HardwareFault):
+            bank.write("nope", 1)
+
+    def test_snapshot_is_a_copy(self):
+        bank = RegisterBank(RegClass.TIMER)
+        image = bank.snapshot()
+        image["cntv_ctl_el0"] = 99
+        assert bank.read("cntv_ctl_el0") == 0
+
+    def test_load_validates_shape(self):
+        bank = RegisterBank(RegClass.TIMER)
+        with pytest.raises(HardwareFault):
+            bank.load({"wrong": 1})
+
+    def test_all_table3_classes_have_registers(self):
+        for reg_class in RegClass:
+            assert REGISTER_NAMES[reg_class], reg_class
+
+
+class TestRegisterFile:
+    def test_snapshot_selected_classes(self):
+        regs = RegisterFile()
+        regs.write(RegClass.GP, "x0", 7)
+        image = regs.snapshot([RegClass.GP])
+        assert list(image) == [RegClass.GP]
+        assert image[RegClass.GP]["x0"] == 7
+
+    def test_load_round_trip(self):
+        regs = RegisterFile()
+        regs.write(RegClass.EL1_SYS, "ttbr1_el1", 0x1000)
+        image = regs.snapshot()
+        regs.write(RegClass.EL1_SYS, "ttbr1_el1", 0x2000)
+        regs.load(image)
+        assert regs.read(RegClass.EL1_SYS, "ttbr1_el1") == 0x1000
+
+    def test_missing_bank_rejected(self):
+        regs = RegisterFile([RegClass.GP])
+        with pytest.raises(HardwareFault):
+            regs.read(RegClass.VGIC, "gich_hcr")
+
+    def test_fresh_context_image_is_zeroed(self):
+        image = fresh_context_image([RegClass.GP])
+        assert all(value == 0 for value in image[RegClass.GP].values())
+
+
+class TestArmCpu:
+    def test_starts_in_el1(self):
+        assert ArmCpu().current_el == ExceptionLevel.EL1
+
+    def test_trap_and_eret(self):
+        cpu = ArmCpu()
+        cpu.trap_to_el2("hvc")
+        assert cpu.current_el == ExceptionLevel.EL2
+        cpu.eret(ExceptionLevel.EL1)
+        assert cpu.current_el == ExceptionLevel.EL1
+
+    def test_double_trap_rejected(self):
+        cpu = ArmCpu()
+        cpu.trap_to_el2()
+        with pytest.raises(HardwareFault):
+            cpu.trap_to_el2()
+
+    def test_eret_from_el1_rejected(self):
+        with pytest.raises(HardwareFault):
+            ArmCpu().eret(ExceptionLevel.EL0)
+
+    def test_eret_to_el2_rejected(self):
+        cpu = ArmCpu()
+        cpu.trap_to_el2()
+        with pytest.raises(HardwareFault):
+            cpu.eret(ExceptionLevel.EL2)
+
+    def test_virt_feature_toggle(self):
+        cpu = ArmCpu()
+        cpu.enable_virt_features(vmid=5)
+        assert cpu.virt_features_enabled
+        assert cpu.current_vmid == 5
+        cpu.disable_virt_features()
+        assert not cpu.virt_features_enabled
+        assert cpu.current_vmid == 0
+
+    def test_e2h_requires_vhe_silicon(self):
+        with pytest.raises(HardwareFault):
+            ArmCpu(vhe_capable=False).set_e2h(True)
+        cpu = ArmCpu(vhe_capable=True)
+        cpu.set_e2h(True)
+        assert cpu.e2h
+
+    def test_sysreg_access_without_vhe_hits_el1(self):
+        cpu = ArmCpu()
+        cpu.write_sysreg("ttbr1_el1", 0xAA)
+        assert cpu.regs.read(RegClass.EL1_SYS, "ttbr1_el1") == 0xAA
+
+    def test_vhe_redirection_in_el2(self):
+        """The paper's example: with E2H set, `mrs x1, ttbr1_el1` executed
+        in EL2 actually accesses TTBR1_EL2."""
+        cpu = ArmCpu(vhe_capable=True)
+        cpu.set_e2h(True)
+        cpu.regs.write(RegClass.EL1_SYS, "ttbr1_el1", 0x111)  # real EL1 reg
+        cpu.trap_to_el2()
+        cpu.write_sysreg("ttbr1_el1", 0x222)  # redirected to EL2 twin
+        assert cpu.read_sysreg("ttbr1_el1") == 0x222
+        # The real EL1 register (guest state) is untouched:
+        assert cpu.regs.read(RegClass.EL1_SYS, "ttbr1_el1") == 0x111
+
+    def test_vhe_el21_encoding_reaches_real_el1(self):
+        cpu = ArmCpu(vhe_capable=True)
+        cpu.set_e2h(True)
+        cpu.trap_to_el2()
+        cpu.write_sysreg_el21("ttbr1_el1", 0x333)
+        assert cpu.regs.read(RegClass.EL1_SYS, "ttbr1_el1") == 0x333
+        assert cpu.read_sysreg_el21("ttbr1_el1") == 0x333
+
+    def test_el21_requires_vhe_and_el2(self):
+        cpu = ArmCpu(vhe_capable=True)
+        with pytest.raises(HardwareFault):
+            cpu.read_sysreg_el21("ttbr1_el1")  # E2H clear, in EL1
+
+    def test_no_redirection_without_e2h_in_el2(self):
+        cpu = ArmCpu(vhe_capable=True)
+        cpu.trap_to_el2()
+        cpu.write_sysreg("ttbr1_el1", 0x444)
+        assert cpu.regs.read(RegClass.EL1_SYS, "ttbr1_el1") == 0x444
+
+    def test_save_load_context(self):
+        cpu = ArmCpu()
+        cpu.regs.write(RegClass.GP, "x0", 1)
+        image = cpu.save_context([RegClass.GP])
+        cpu.regs.write(RegClass.GP, "x0", 2)
+        cpu.load_context(image)
+        assert cpu.regs.read(RegClass.GP, "x0") == 1
+
+
+class TestX86Cpu:
+    def test_starts_in_root_mode(self):
+        assert X86Cpu().root_mode
+
+    def test_vmentry_requires_vmcs(self):
+        with pytest.raises(HardwareFault):
+            X86Cpu().vmentry()
+
+    def test_entry_exit_swaps_state(self):
+        cpu = X86Cpu()
+        vmcs = Vmcs("vm0")
+        vmcs.guest_state[RegClass.GP]["x0"] = 0xBEEF
+        cpu.regs.write(RegClass.GP, "x0", 0xCAFE)  # host value
+        cpu.load_vmcs(vmcs)
+        cpu.vmentry()
+        assert not cpu.root_mode
+        assert cpu.regs.read(RegClass.GP, "x0") == 0xBEEF
+        cpu.regs.write(RegClass.GP, "x0", 0xF00D)  # guest computes
+        cpu.vmexit("hypercall")
+        assert cpu.root_mode
+        assert cpu.regs.read(RegClass.GP, "x0") == 0xCAFE  # host restored
+        assert vmcs.guest_state[RegClass.GP]["x0"] == 0xF00D  # guest saved
+
+    def test_vmexit_from_root_rejected(self):
+        with pytest.raises(HardwareFault):
+            X86Cpu().vmexit()
+
+    def test_double_entry_rejected(self):
+        cpu = X86Cpu()
+        cpu.load_vmcs(Vmcs())
+        cpu.vmentry()
+        with pytest.raises(HardwareFault):
+            cpu.vmentry()
+
+    def test_vmptrld_from_non_root_rejected(self):
+        cpu = X86Cpu()
+        cpu.load_vmcs(Vmcs())
+        cpu.vmentry()
+        with pytest.raises(HardwareFault):
+            cpu.load_vmcs(Vmcs())
+
+    def test_event_injection_delivered_once(self):
+        cpu = X86Cpu()
+        cpu.load_vmcs(Vmcs())
+        cpu.inject_on_next_entry(0x31)
+        assert cpu.vmentry() == 0x31
+        cpu.vmexit()
+        assert cpu.vmentry() is None

@@ -1,0 +1,82 @@
+"""Tests for the request-level server simulation."""
+
+import pytest
+
+from repro.core.derived import measure_derived_costs
+from repro.core.serversim import ServerLoadSimulation, run_server_comparison
+from repro.core.testbed import build_testbed, native_testbed
+from repro.errors import ConfigurationError
+
+
+class TestParameters:
+    def test_concurrency_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServerLoadSimulation(native_testbed("arm"), concurrency=0, requests=10)
+        with pytest.raises(ConfigurationError):
+            ServerLoadSimulation(native_testbed("arm"), concurrency=20, requests=10)
+
+
+class TestNativeBaseline:
+    def test_native_throughput_tracks_cpu_capacity(self):
+        """4 VCPUs x 300 us/request -> ~13.3k requests/s."""
+        result = ServerLoadSimulation(
+            native_testbed("arm"), requests=200, concurrency=16
+        ).run()
+        assert result.requests == 200
+        assert result.requests_per_second == pytest.approx(13333, rel=0.05)
+
+    def test_more_concurrency_does_not_exceed_capacity(self):
+        low = ServerLoadSimulation(
+            native_testbed("arm"), requests=200, concurrency=8
+        ).run()
+        high = ServerLoadSimulation(
+            native_testbed("arm"), requests=200, concurrency=32
+        ).run()
+        assert high.requests_per_second <= low.requests_per_second * 1.05
+
+
+class TestEmergentBottleneck:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return {
+            irq_vcpus: run_server_comparison(irq_vcpus=irq_vcpus, requests=200)
+            for irq_vcpus in (1, 4)
+        }
+
+    def test_single_vcpu_interrupts_saturate_vcpu0(self, comparison):
+        kvm = comparison[1]["kvm-arm"]
+        assert kvm.irq_vcpu_utilization > 0.97  # "fully utilizes the PCPU"
+
+    def test_overheads_match_paper_anchors(self, comparison):
+        native = comparison[1]["native"]
+        kvm_single = comparison[1]["kvm-arm"].normalized_to(native)
+        xen_single = comparison[1]["xen-arm"].normalized_to(native)
+        assert kvm_single == pytest.approx(1.35, abs=0.12)
+        assert xen_single == pytest.approx(1.84, abs=0.15)
+
+    def test_distribution_recovers_throughput(self, comparison):
+        native = comparison[4]["native"]
+        for key in ("kvm-arm", "xen-arm"):
+            single = comparison[1][key].normalized_to(comparison[1]["native"])
+            spread = comparison[4][key].normalized_to(native)
+            assert spread < single - 0.10
+
+    def test_agrees_with_closed_form_model(self, comparison):
+        """DES queueing result vs the Figure 4 formula, same inputs."""
+        from repro.core.appbench import run_workload
+        from repro.workloads import Apache
+
+        native = comparison[1]["native"]
+        sim = comparison[1]["kvm-arm"].normalized_to(native)
+        closed = run_workload(Apache(), "kvm-arm", irq_vcpus=1).normalized
+        assert sim == pytest.approx(closed, abs=0.12)
+
+    def test_deterministic(self):
+        derived = measure_derived_costs("kvm-arm")
+
+        def run_once():
+            return ServerLoadSimulation(
+                build_testbed("kvm-arm"), derived=derived, requests=100
+            ).run()
+
+        assert run_once().total_cycles == run_once().total_cycles

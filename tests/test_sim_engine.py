@@ -1,0 +1,251 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Engine, Timeout
+
+
+def test_time_starts_at_zero():
+    assert Engine().now == 0
+
+
+def test_schedule_runs_callback_at_delay():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == [10]
+
+
+def test_schedule_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_same_cycle_callbacks_run_fifo():
+    engine = Engine()
+    order = []
+    engine.schedule(5, lambda: order.append("a"))
+    engine.schedule(5, lambda: order.append("b"))
+    engine.schedule(5, lambda: order.append("c"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_stops_clock_at_limit():
+    engine = Engine()
+    engine.schedule(100, lambda: None)
+    engine.run(until=40)
+    assert engine.now == 40
+    engine.run()
+    assert engine.now == 100
+
+
+def test_run_until_advances_clock_when_queue_empty():
+    engine = Engine()
+    engine.run(until=25)
+    assert engine.now == 25
+
+
+def test_process_timeout_advances_time():
+    engine = Engine()
+    seen = []
+
+    def proc():
+        yield Timeout(7)
+        seen.append(engine.now)
+        yield Timeout(3)
+        seen.append(engine.now)
+
+    engine.spawn(proc())
+    engine.run()
+    assert seen == [7, 10]
+
+
+def test_process_return_value_joinable():
+    engine = Engine()
+    results = []
+
+    def child():
+        yield Timeout(4)
+        return "payload"
+
+    def parent():
+        value = yield engine.spawn(child())
+        results.append((engine.now, value))
+
+    engine.spawn(parent())
+    engine.run()
+    assert results == [(4, "payload")]
+
+
+def test_join_already_finished_process():
+    engine = Engine()
+    results = []
+
+    def child():
+        yield Timeout(1)
+        return 42
+
+    child_proc = engine.spawn(child())
+
+    def parent():
+        yield Timeout(10)
+        value = yield child_proc
+        results.append(value)
+
+    engine.spawn(parent())
+    engine.run()
+    assert results == [42]
+
+
+def test_event_wakes_waiter_with_value():
+    engine = Engine()
+    event = engine.event("ping")
+    got = []
+
+    def waiter():
+        value = yield event
+        got.append((engine.now, value))
+
+    engine.spawn(waiter())
+    engine.schedule(30, lambda: event.fire("hello"))
+    engine.run()
+    assert got == [(30, "hello")]
+
+
+def test_event_fire_twice_raises():
+    engine = Engine()
+    event = engine.event()
+    event.fire()
+    with pytest.raises(SimulationError):
+        event.fire()
+
+
+def test_event_reset_allows_refire():
+    engine = Engine()
+    event = engine.event()
+    event.fire(1)
+    event.reset()
+    event.fire(2)
+    assert event.value == 2
+
+
+def test_wait_on_already_fired_event_resumes_immediately():
+    engine = Engine()
+    event = engine.event()
+    event.fire("early")
+    got = []
+
+    def waiter():
+        yield Timeout(5)
+        value = yield event
+        got.append((engine.now, value))
+
+    engine.spawn(waiter())
+    engine.run()
+    assert got == [(5, "early")]
+
+
+def test_allof_waits_for_every_event():
+    engine = Engine()
+    events = [engine.event(str(i)) for i in range(3)]
+    got = []
+
+    def waiter():
+        values = yield AllOf(events)
+        got.append((engine.now, values))
+
+    engine.spawn(waiter())
+    engine.schedule(10, lambda: events[1].fire("b"))
+    engine.schedule(20, lambda: events[0].fire("a"))
+    engine.schedule(30, lambda: events[2].fire("c"))
+    engine.run()
+    assert got == [(30, ["a", "b", "c"])]
+
+
+def test_anyof_returns_first_event():
+    engine = Engine()
+    events = [engine.event(str(i)) for i in range(3)]
+    got = []
+
+    def waiter():
+        index, value = yield AnyOf(events)
+        got.append((engine.now, index, value))
+
+    engine.spawn(waiter())
+    engine.schedule(15, lambda: events[2].fire("late-win"))
+    engine.schedule(25, lambda: events[0].fire("loser"))
+    engine.run()
+    assert got == [(15, 2, "late-win")]
+
+
+def test_anyof_with_prefired_event():
+    engine = Engine()
+    events = [engine.event(), engine.event()]
+    events[1].fire("pre")
+    got = []
+
+    def waiter():
+        got.append((yield AnyOf(events)))
+
+    engine.spawn(waiter())
+    engine.run()
+    assert got == [(1, "pre")]
+
+
+def test_unsupported_yield_raises():
+    engine = Engine()
+
+    def proc():
+        yield "not a command"
+
+    engine.spawn(proc())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_run_until_fired_returns_value():
+    engine = Engine()
+    event = engine.event()
+    engine.schedule(50, lambda: event.fire("done"))
+    assert engine.run_until_fired(event) == "done"
+    assert engine.now == 50
+
+
+def test_run_until_fired_deadlock_detected():
+    engine = Engine()
+    event = engine.event()
+    with pytest.raises(SimulationError):
+        engine.run_until_fired(event)
+
+
+def test_run_until_fired_limit_enforced():
+    engine = Engine()
+    event = engine.event()
+    engine.schedule(1000, lambda: event.fire())
+    with pytest.raises(SimulationError):
+        engine.run_until_fired(event, limit=100)
+
+
+def test_zero_timeout_lets_same_time_events_interleave():
+    engine = Engine()
+    order = []
+
+    def proc_a():
+        order.append("a1")
+        yield Timeout(0)
+        order.append("a2")
+
+    def proc_b():
+        order.append("b1")
+        yield Timeout(0)
+        order.append("b2")
+
+    engine.spawn(proc_a())
+    engine.spawn(proc_b())
+    engine.run()
+    assert order == ["a1", "b1", "a2", "b2"]
+    assert engine.now == 0

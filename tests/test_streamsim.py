@@ -1,0 +1,88 @@
+"""Tests for the packet-level bulk-stream simulation."""
+
+import pytest
+
+from repro.core.derived import measure_derived_costs
+from repro.core.streamsim import (
+    StreamSimulation,
+    StreamStage,
+    build_stream_stages,
+    run_stream_comparison,
+)
+from repro.core.testbed import build_testbed, native_testbed
+from repro.errors import ConfigurationError
+
+
+class TestStreamSimulationMachinery:
+    def test_window_validation(self):
+        testbed = native_testbed("arm")
+        with pytest.raises(ConfigurationError):
+            StreamSimulation(testbed, [StreamStage("s", 10)], window=0)
+
+    def test_stage_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamSimulation(native_testbed("arm"), [])
+
+    def test_single_stage_throughput_is_its_rate(self):
+        testbed = native_testbed("arm")
+        result = StreamSimulation(
+            testbed, [StreamStage("only", 1000)], segments=50, window=4
+        ).run()
+        # 50 segments x 1000 cycles serialized = 50,000 cycles exactly.
+        assert result.total_cycles == 50_000
+        assert result.bottleneck == "only"
+
+    def test_window_of_one_serializes_the_whole_chain(self):
+        testbed = native_testbed("arm")
+        stages = [StreamStage("a", 300), StreamStage("b", 700)]
+        pipelined = StreamSimulation(testbed, stages, segments=40, window=8).run()
+        testbed2 = native_testbed("arm")
+        serial = StreamSimulation(
+            testbed2, stages, segments=40, window=1
+        ).run()
+        assert serial.total_cycles > pipelined.total_cycles
+        assert serial.total_cycles == 40 * (300 + 700)
+
+    def test_all_segments_delivered(self):
+        result = StreamSimulation(
+            native_testbed("arm"), [StreamStage("s", 10)], segments=33
+        ).run()
+        assert result.segments == 33
+
+
+class TestStreamComparison:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_stream_comparison(segments=120)
+
+    def test_native_and_kvm_wire_limited(self, results):
+        assert results["native"].bottleneck == "wire"
+        assert results["kvm-arm"].bottleneck == "wire"
+        assert results["kvm-arm"].normalized_to(results["native"]) < 1.05
+
+    def test_xen_backend_limited_with_big_overhead(self, results):
+        xen = results["xen-arm"]
+        assert xen.bottleneck == "backend"
+        assert xen.normalized_to(results["native"]) > 2.8
+
+    def test_agrees_with_closed_form_pipeline(self, results):
+        """The DES run and the Figure 4 formula from the same inputs."""
+        from repro.core.appbench import make_context
+        from repro.workloads.netperf import NetperfStream
+
+        derived = measure_derived_costs("xen-arm")
+        closed = NetperfStream().run(derived, make_context("xen-arm"))
+        emergent = results["xen-arm"].normalized_to(results["native"])
+        assert emergent == pytest.approx(closed.normalized, rel=0.10)
+
+    def test_slowest_stage_is_saturated_others_are_not(self, results):
+        xen = results["xen-arm"]
+        assert xen.stage_utilization["backend"] > 0.98
+        assert xen.stage_utilization["wire"] < 0.5  # starved, not busy
+
+    def test_stage_builder_shapes(self):
+        native_stages = build_stream_stages(native_testbed("arm"))
+        assert [stage.name for stage in native_stages] == ["wire", "host"]
+        testbed = build_testbed("kvm-arm")
+        kvm_stages = build_stream_stages(testbed, measure_derived_costs("kvm-arm"))
+        assert [stage.name for stage in kvm_stages] == ["wire", "backend", "vcpu0"]

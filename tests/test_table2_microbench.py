@@ -1,0 +1,118 @@
+"""Integration tests: simulated Table II against the paper.
+
+Two layers of assertions:
+* tolerance — every cell within 25% of the published cycle count;
+* shape — the qualitative relations the paper's analysis rests on, which
+  must hold regardless of absolute calibration.
+"""
+
+import pytest
+
+from repro.core.microbench import TABLE2_ROWS, MicrobenchmarkSuite
+from repro.core.testbed import build_testbed
+from repro.paperdata import PLATFORM_ORDER, TABLE2
+
+TOLERANCE = 0.25
+
+
+@pytest.fixture(scope="module")
+def measured():
+    results = {}
+    for key in PLATFORM_ORDER:
+        results[key] = MicrobenchmarkSuite(build_testbed(key)).run_all()
+    return results
+
+
+@pytest.mark.parametrize("row", TABLE2_ROWS)
+@pytest.mark.parametrize("key", PLATFORM_ORDER)
+def test_within_tolerance_of_paper(measured, row, key):
+    paper = TABLE2[row][key]
+    sim = measured[key][row]
+    assert sim == pytest.approx(paper, rel=TOLERANCE), (
+        "%s on %s: simulated %d vs paper %d" % (row, key, sim, paper)
+    )
+
+
+class TestShape:
+    """The paper's qualitative findings (Section IV)."""
+
+    def test_xen_arm_hypercall_much_faster_than_kvm_arm(self, measured):
+        """'more than an order of magnitude' between Type 1 and Type 2."""
+        assert measured["kvm-arm"]["Hypercall"] > 10 * measured["xen-arm"]["Hypercall"]
+
+    def test_xen_arm_hypercall_faster_than_x86(self, measured):
+        """ARM enables much faster Type 1 transitions than x86 — less
+        than a third of the x86 cycles."""
+        assert measured["xen-arm"]["Hypercall"] < measured["xen-x86"]["Hypercall"] / 3
+        assert measured["xen-arm"]["Hypercall"] < measured["kvm-x86"]["Hypercall"] / 3
+
+    def test_x86_hypervisors_transition_similarly(self, measured):
+        """Both use the same VMCS hardware mechanism."""
+        kvm, xen = measured["kvm-x86"]["Hypercall"], measured["xen-x86"]["Hypercall"]
+        assert abs(kvm - xen) / xen < 0.15
+
+    def test_arm_virq_completion_is_tens_of_cycles(self, measured):
+        """Hardware-assisted completion without trapping."""
+        assert measured["kvm-arm"]["Virtual IRQ Completion"] < 100
+        assert measured["xen-arm"]["Virtual IRQ Completion"] < 100
+
+    def test_x86_virq_completion_traps(self, measured):
+        assert measured["kvm-x86"]["Virtual IRQ Completion"] > 1000
+        assert measured["xen-x86"]["Virtual IRQ Completion"] > 1000
+
+    def test_interrupt_traps_cheaper_on_xen_arm(self, measured):
+        """Xen emulates the GIC in EL2; KVM does it in the EL1 host."""
+        assert (
+            measured["xen-arm"]["Interrupt Controller Trap"]
+            < measured["kvm-arm"]["Interrupt Controller Trap"] / 4
+        )
+
+    def test_virtual_ipi_xen_arm_roughly_2x_faster(self, measured):
+        ratio = measured["kvm-arm"]["Virtual IPI"] / measured["xen-arm"]["Virtual IPI"]
+        assert 1.6 < ratio < 2.8
+
+    def test_vm_switch_comparable_between_arm_hypervisors(self, measured):
+        """Both must context switch the full state; Xen only slightly
+        faster."""
+        kvm, xen = measured["kvm-arm"]["VM Switch"], measured["xen-arm"]["VM Switch"]
+        assert xen < kvm
+        assert kvm / xen < 1.35
+
+    def test_xen_x86_vm_switch_about_twice_kvm_x86(self, measured):
+        ratio = measured["xen-x86"]["VM Switch"] / measured["kvm-x86"]["VM Switch"]
+        assert 1.7 < ratio < 2.6
+
+    def test_io_latency_out_surprising_reversal(self, measured):
+        """The paper's surprise: despite Xen ARM's fast transitions, its
+        I/O signaling is ~3x slower than KVM ARM's, because it must
+        switch to Dom0."""
+        assert measured["xen-arm"]["I/O Latency Out"] > 2.4 * measured["kvm-arm"]["I/O Latency Out"]
+
+    def test_kvm_x86_io_out_fastest_of_all(self, measured):
+        out = {key: measured[key]["I/O Latency Out"] for key in PLATFORM_ORDER}
+        assert min(out, key=out.get) == "kvm-x86"
+
+    def test_io_latency_in_similar_on_arm(self, measured):
+        """Xen and KVM perform similar low-level operations inbound; KVM
+        slightly faster."""
+        kvm, xen = measured["kvm-arm"]["I/O Latency In"], measured["xen-arm"]["I/O Latency In"]
+        assert kvm < xen
+        assert xen / kvm < 1.35
+
+    def test_xen_x86_io_in_beats_kvm_x86(self, measured):
+        assert measured["xen-x86"]["I/O Latency In"] < measured["kvm-x86"]["I/O Latency In"]
+
+    def test_kvm_arm_io_in_slower_than_io_out(self, measured):
+        """KVM ARM does more work inbound (wakeup + injection)."""
+        assert measured["kvm-arm"]["I/O Latency In"] > measured["kvm-arm"]["I/O Latency Out"]
+
+    def test_xen_arm_io_similar_both_directions(self, measured):
+        ratio = measured["xen-arm"]["I/O Latency Out"] / measured["xen-arm"]["I/O Latency In"]
+        assert 0.75 < ratio < 1.35
+
+
+class TestDeterminism:
+    def test_two_fresh_testbeds_agree_exactly(self):
+        a = MicrobenchmarkSuite(build_testbed("kvm-arm")).run_all()
+        b = MicrobenchmarkSuite(build_testbed("kvm-arm")).run_all()
+        assert a == b

@@ -1,0 +1,187 @@
+"""Unit tests for the workload models and the Figure 4 machinery."""
+
+import pytest
+
+from repro.core.appbench import make_context, run_workload
+from repro.core.derived import measure_derived_costs
+from repro.workloads import (
+    FIGURE4_WORKLOADS,
+    Apache,
+    Hackbench,
+    Kernbench,
+    Memcached,
+    MySql,
+    NetperfMaerts,
+    NetperfRR,
+    NetperfStream,
+    SpecJvm2008,
+)
+from repro.workloads.base import CpuWorkloadModel, ServerWorkloadModel
+
+
+@pytest.fixture(scope="module")
+def derived():
+    return {key: measure_derived_costs(key) for key in ("kvm-arm", "xen-arm")}
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    return {key: make_context(key) for key in ("kvm-arm", "xen-arm")}
+
+
+class TestCpuModel:
+    def test_zero_event_rates_mean_native_performance(self, derived, contexts):
+        class Idle(CpuWorkloadModel):
+            name = "idle"
+            native_gcycles = 1.0
+
+        result = Idle().run(derived["kvm-arm"], contexts["kvm-arm"])
+        assert result.normalized == 1.0
+
+    def test_overhead_scales_with_event_rate(self, derived, contexts):
+        class Light(CpuWorkloadModel):
+            name = "light"
+            resched_ipis_per_gcycle = 100.0
+
+        class Heavy(Light):
+            name = "heavy"
+            resched_ipis_per_gcycle = 10000.0
+
+        light = Light().run(derived["kvm-arm"], contexts["kvm-arm"])
+        heavy = Heavy().run(derived["kvm-arm"], contexts["kvm-arm"])
+        assert heavy.normalized > light.normalized > 1.0
+
+    def test_overhead_is_dilution_invariant(self, derived, contexts):
+        """Doubling the native work at fixed per-Gcycle rates must not
+        change the normalized overhead."""
+
+        class Short(CpuWorkloadModel):
+            name = "short"
+            native_gcycles = 5.0
+            tlb_misses_per_kcycle = 0.4
+
+        class Long(Short):
+            name = "long"
+            native_gcycles = 50.0
+
+        short = Short().run(derived["kvm-arm"], contexts["kvm-arm"])
+        long = Long().run(derived["kvm-arm"], contexts["kvm-arm"])
+        assert short.normalized == pytest.approx(long.normalized, rel=1e-9)
+
+    def test_ipi_heavy_work_prefers_xen_arm(self, derived, contexts):
+        """The Hackbench mechanism in isolation."""
+
+        class IpiStorm(CpuWorkloadModel):
+            name = "ipi-storm"
+            resched_ipis_per_gcycle = 10000.0
+
+        kvm = IpiStorm().run(derived["kvm-arm"], contexts["kvm-arm"])
+        xen = IpiStorm().run(derived["xen-arm"], contexts["xen-arm"])
+        assert xen.normalized < kvm.normalized
+
+
+class TestServerModel:
+    def test_irq_vcpus_must_be_positive(self, derived):
+        from repro.errors import ConfigurationError
+
+        context = make_context("kvm-arm", irq_vcpus=0)
+        with pytest.raises(ConfigurationError):
+            Apache().run(derived["kvm-arm"], context)
+
+    def test_distribution_moves_bottleneck(self, derived):
+        single = Apache().run(derived["kvm-arm"], make_context("kvm-arm", irq_vcpus=1))
+        spread = Apache().run(derived["kvm-arm"], make_context("kvm-arm", irq_vcpus=4))
+        assert single.bottleneck == "vcpu0"
+        assert spread.bottleneck != "vcpu0"
+        assert spread.normalized < single.normalized
+
+    def test_deliveries_pick_per_hypervisor(self, derived):
+        apache = Apache()
+        assert apache.deliveries(derived["xen-arm"]) > apache.deliveries(derived["kvm-arm"])
+        assert apache.guest_per_delivery(derived["xen-arm"]) > apache.guest_per_delivery(
+            derived["kvm-arm"]
+        )
+
+    def test_memcached_milder_than_apache(self, derived, contexts):
+        for key in ("kvm-arm", "xen-arm"):
+            apache = Apache().run(derived[key], contexts[key])
+            memcached = Memcached().run(derived[key], contexts[key])
+            assert memcached.normalized < apache.normalized
+
+    def test_native_metric_capped_by_wire(self, derived, contexts):
+        class HugeResponses(ServerWorkloadModel):
+            name = "huge"
+            request_cpu_us = 10.0
+            response_bytes = 10 * 1024 * 1024
+
+        result = HugeResponses().run(derived["kvm-arm"], contexts["kvm-arm"])
+        assert result.native_metric == pytest.approx(10e9 / 8 / (10 * 1024 * 1024 + 1500))
+
+
+class TestNetperfModels:
+    def test_stream_kvm_wire_limited(self, derived, contexts):
+        result = NetperfStream().run(derived["kvm-arm"], contexts["kvm-arm"])
+        assert result.bottleneck == "wire"
+        assert result.normalized == 1.0
+
+    def test_stream_xen_backend_limited(self, derived, contexts):
+        result = NetperfStream().run(derived["xen-arm"], contexts["xen-arm"])
+        assert result.bottleneck == "backend"
+        assert result.normalized > 2.5
+
+    def test_maerts_xen_tso_bug_and_fix(self, derived):
+        bugged = NetperfMaerts().run(derived["xen-arm"], make_context("xen-arm"))
+        fixed = NetperfMaerts().run(
+            derived["xen-arm"], make_context("xen-arm", tso_autosizing_fixed=True)
+        )
+        assert bugged.normalized > 2.0
+        assert fixed.normalized < bugged.normalized / 1.5
+
+    def test_maerts_kvm_unaffected_by_xen_bug_knob(self, derived):
+        stock = NetperfMaerts().run(derived["kvm-arm"], make_context("kvm-arm"))
+        fixed = NetperfMaerts().run(
+            derived["kvm-arm"], make_context("kvm-arm", tso_autosizing_fixed=True)
+        )
+        assert stock.normalized == fixed.normalized
+
+    def test_rr_uses_packet_level_simulation(self, derived):
+        context = make_context("kvm-arm")
+        result = NetperfRR().run(derived["kvm-arm"], context)
+        assert 1.5 < result.normalized < 2.5
+        assert result.bottleneck == "latency"
+        # The context caches the packet-level runs:
+        again = NetperfRR().run(derived["kvm-arm"], context)
+        assert again.normalized == result.normalized
+
+
+class TestFigure4Workloads:
+    def test_all_nine_present(self):
+        assert len(FIGURE4_WORKLOADS) == 9
+        names = [w.name for w in FIGURE4_WORKLOADS]
+        assert names == [
+            "Kernbench",
+            "Hackbench",
+            "SPECjvm2008",
+            "TCP_RR",
+            "TCP_STREAM",
+            "TCP_MAERTS",
+            "Apache",
+            "Memcached",
+            "MySQL",
+        ]
+
+    @pytest.mark.parametrize(
+        "workload_cls",
+        [Kernbench, Hackbench, SpecJvm2008, MySql],
+    )
+    def test_cpu_workloads_modest_overhead(self, workload_cls, derived, contexts):
+        for key in ("kvm-arm", "xen-arm"):
+            result = workload_cls().run(derived[key], contexts[key])
+            assert 1.0 < result.normalized < 1.25
+
+
+class TestRunWorkloadHelper:
+    def test_run_workload_without_precomputed_derived(self):
+        result = run_workload(Memcached(), "kvm-arm")
+        assert result.key == "kvm-arm"
+        assert result.normalized > 1.0

@@ -1,0 +1,35 @@
+"""Calibration report: simulated Table II vs the paper, per platform.
+
+Run:  python tools/calibrate.py
+"""
+
+from repro.core.microbench import TABLE2_ROWS, MicrobenchmarkSuite
+from repro.core.testbed import build_testbed
+from repro.paperdata import PLATFORM_ORDER, TABLE2
+
+
+def main():
+    measured = {}
+    for key in PLATFORM_ORDER + ["kvm-vhe-arm"]:
+        suite = MicrobenchmarkSuite(build_testbed(key))
+        measured[key] = suite.run_all()
+
+    print("%-28s" % "Microbenchmark", end="")
+    for key in PLATFORM_ORDER:
+        print("%22s" % key, end="")
+    print("%12s" % "kvm-vhe")
+    worst = 0.0
+    for row in TABLE2_ROWS:
+        print("%-28s" % row, end="")
+        for key in PLATFORM_ORDER:
+            paper = TABLE2[row][key]
+            sim = measured[key][row]
+            err = (sim - paper) / paper * 100.0
+            worst = max(worst, abs(err))
+            print("%10d (%+5.1f%%)" % (sim, err), end="")
+        print("%12d" % measured["kvm-vhe-arm"][row])
+    print("\nworst |error| = %.1f%%" % worst)
+
+
+if __name__ == "__main__":
+    main()
