@@ -1,0 +1,32 @@
+"""Reporters: human-readable text and machine-readable JSON."""
+
+import json
+
+
+def render_text(violations):
+    """``file:line:col RULE message`` per finding, plus a summary line."""
+    lines = [violation.format() for violation in violations]
+    if violations:
+        by_rule = {}
+        for violation in violations:
+            by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+        summary = ", ".join("%s: %d" % item for item in sorted(by_rule.items()))
+        lines.append("")
+        lines.append("%d finding%s (%s)" % (len(violations), "s" if len(violations) != 1 else "", summary))
+    else:
+        lines.append("clean: no model-integrity findings")
+    return "\n".join(lines)
+
+
+def render_json(violations):
+    return json.dumps(
+        {
+            "count": len(violations),
+            "violations": [violation.as_dict() for violation in violations],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+RENDERERS = {"text": render_text, "json": render_json}

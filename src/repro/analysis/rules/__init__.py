@@ -1,0 +1,36 @@
+"""Rule registry."""
+
+from repro.analysis.rules.api001 import RawMagicAddress
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.cal001 import CalibrationLeakage
+from repro.analysis.rules.cov001 import CostCoverage
+from repro.analysis.rules.des001 import DroppedGenerator
+from repro.analysis.rules.det001 import Determinism
+
+#: every registered rule, in reporting order
+ALL_RULES = (
+    CalibrationLeakage(),
+    Determinism(),
+    DroppedGenerator(),
+    CostCoverage(),
+    RawMagicAddress(),
+)
+
+RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
+
+
+def active_rules(config, select=None):
+    """Resolve the rule set: CLI ``select`` overrides config ``select``."""
+    codes = select if select is not None else config.select
+    if codes is None:
+        return ALL_RULES
+    resolved = []
+    for code in codes:
+        code = code.upper()
+        if code not in RULES_BY_CODE:
+            raise KeyError("unknown lint rule %r (known: %s)" % (code, ", ".join(sorted(RULES_BY_CODE))))
+        resolved.append(RULES_BY_CODE[code])
+    return tuple(resolved)
+
+
+__all__ = ["ALL_RULES", "RULES_BY_CODE", "Rule", "active_rules"]

@@ -1,0 +1,47 @@
+"""API001 — raw magic address.
+
+Guest-physical addresses and page-size constants written as anonymous hex
+literals (``grants.grant(gpa_page=0x4000 + page)``) hide the memory-map
+contract between frontends, backends, and grant tables.  Page-scale hex
+literals (>= ``api001-min-address``, default 0x1000) in the scoped
+subsystems (``hv/`` by default) must come from named module-level
+constants — see ``GICD_BASE_GPA`` and friends in ``repro.hv.base``.
+
+Only literals actually *written in hex* are flagged: hex is how this
+codebase spells addresses, while decimal literals are byte counts and are
+CAL001's business.
+"""
+
+from repro.analysis.rules.base import (
+    Rule,
+    is_hex_literal,
+    iter_numeric_constants,
+    named_definition_constants,
+)
+
+
+class RawMagicAddress(Rule):
+    code = "API001"
+    name = "raw-magic-address"
+    description = (
+        "page-scale hex address literals must come from named "
+        "module-level constants"
+    )
+
+    def check(self, project, config):
+        scope = config.paths_for(self.code)
+        for module in project.in_paths(scope):
+            named = named_definition_constants(module.tree)
+            for node in iter_numeric_constants(module.tree):
+                if not isinstance(node.value, int):
+                    continue
+                if node.value < config.api001_min_address:
+                    continue
+                if id(node) in named or not is_hex_literal(module, node):
+                    continue
+                yield module.violation(
+                    node, self.code,
+                    "raw hex address/page literal 0x%x — define a named "
+                    "module-level constant (cf. GICD_BASE_GPA in "
+                    "repro.hv.base)" % node.value,
+                )

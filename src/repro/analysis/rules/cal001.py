@@ -1,0 +1,97 @@
+"""CAL001 — calibration leakage.
+
+Two checks, both serving the same discipline (DESIGN.md): the paper's
+composed results must be *outputs* of executed hypervisor paths, never
+inputs.
+
+1. **Anonymous cycle-scale literals** in the model subsystems (``hv/``,
+   ``os/``, ``core/`` by default).  Every number of plausible cycle/byte
+   magnitude (>= ``cal001-min-literal``) must be bound to a name — a
+   module/class-level constant, a dataclass field default, or a parameter
+   default — so calibration is reviewable in one place.  Exact powers of
+   ten are exempt (unit conversions and percentages, not costs).
+
+2. **Published-cell matches**: any literal anywhere in the package equal
+   to a paper Table II/III/V cell is flagged — a composed result has been
+   hardcoded.  Table III save/restore primitives are allowed inside
+   ``repro.hw.costs`` only (that *is* the documented calibration source).
+"""
+
+from repro.analysis.rules.base import (
+    Rule,
+    iter_numeric_constants,
+    named_definition_constants,
+)
+
+#: paperdata is the one sanctioned home of published cells.
+PAPERDATA = "paperdata.py"
+
+_POWERS_OF_TEN = {float(10 ** exp) for exp in range(1, 19)}
+
+
+def _published_cells():
+    """{value: description} for Table II/V cells, and Table III separately."""
+    from repro import paperdata
+
+    composed, table3 = {}, {}
+    for row, columns in paperdata.TABLE2.items():
+        for key, value in columns.items():
+            composed.setdefault(float(value), "Table II %r %s" % (row, key))
+    for row, columns in paperdata.TABLE5.items():
+        for key, value in columns.items():
+            if value is not None:
+                composed.setdefault(float(value), "Table V %r %s" % (row, key))
+    for row, columns in paperdata.TABLE3.items():
+        for key, value in columns.items():
+            table3.setdefault(float(value), "Table III %r %s" % (row, key))
+    return composed, table3
+
+
+class CalibrationLeakage(Rule):
+    code = "CAL001"
+    name = "calibration-leakage"
+    description = (
+        "cycle-scale literals belong in repro.hw.costs; published table "
+        "cells may appear only in repro.paperdata"
+    )
+
+    def check(self, project, config):
+        composed, table3 = _published_cells()
+        scope = config.paths_for(self.code)
+        for module in project.modules:
+            if module.relpath == PAPERDATA:
+                continue
+            in_scope = module.in_any(scope)
+            named = named_definition_constants(module.tree) if in_scope else set()
+            table3_allowed = module.relpath in config.cal001_table3_allow
+            for node in iter_numeric_constants(module.tree):
+                value = float(node.value)
+                if value in composed:
+                    yield module.violation(
+                        node,
+                        self.code,
+                        "literal %r equals published %s — composed results "
+                        "must be outputs of executed paths, not inputs"
+                        % (node.value, composed[value]),
+                    )
+                elif value in table3 and not table3_allowed:
+                    yield module.violation(
+                        node,
+                        self.code,
+                        "literal %r equals published %s — Table III "
+                        "primitives belong in repro.hw.costs"
+                        % (node.value, table3[value]),
+                    )
+                elif (
+                    in_scope
+                    and value >= config.cal001_min_literal
+                    and value not in _POWERS_OF_TEN
+                    and id(node) not in named
+                ):
+                    yield module.violation(
+                        node,
+                        self.code,
+                        "anonymous cycle-scale literal %r — bind it to a "
+                        "named constant (or move it into repro.hw.costs if "
+                        "it is a calibrated primitive)" % (node.value,),
+                    )

@@ -1,0 +1,85 @@
+"""COV001 — cost coverage.
+
+The calibration discipline cuts both ways.  CAL001 keeps composed results
+out of the constants; COV001 keeps the constants honest:
+
+* every primitive defined in ``repro.hw.costs`` must be *read* by at
+  least one composed path (an orphaned primitive is dead calibration —
+  it looks load-bearing in a review but influences nothing);
+* every ``costs.<attr>`` reference must resolve to a defined primitive
+  or cost-model method (a typo'd cost name raises only when that exact
+  path executes, which a shape test may never do).
+
+Reads are recognized on any receiver whose final component is ``costs``
+(``costs.x``, ``self.costs.x``, ``hv.costs.x``, ``machine.costs.x``) plus
+``self.<field>`` inside the cost module itself (cost-class methods like
+``copy_cycles`` consume their own fields).
+"""
+
+import ast
+
+from repro.analysis.rules.base import Rule, terminal_name
+
+
+def _cost_definitions(costs_module):
+    """(fields, methods): {name: lineno} from every class in the module."""
+    fields, methods = {}, set()
+    for node in costs_module.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if not stmt.target.id.startswith("_"):
+                    fields.setdefault(stmt.target.id, stmt.lineno)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                        fields.setdefault(target.id, stmt.lineno)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.add(stmt.name)
+    return fields, methods
+
+
+class CostCoverage(Rule):
+    code = "COV001"
+    name = "cost-coverage"
+    description = (
+        "every repro.hw.costs primitive must be read by a composed path; "
+        "cost references must resolve"
+    )
+
+    def check(self, project, config):
+        costs_module = project.module(config.cov001_costs_module)
+        if costs_module is None:
+            return
+        fields, methods = _cost_definitions(costs_module)
+        scope = config.paths_for(self.code)
+        scoped = project.in_paths(scope)
+        if costs_module not in scoped:
+            scoped = scoped + [costs_module]
+        reads = {}
+        for module in scoped:
+            for node in ast.walk(module.tree):
+                if not (isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load)):
+                    continue
+                receiver = terminal_name(node.value)
+                if receiver == "costs" or (receiver == "self" and module is costs_module):
+                    reads.setdefault(node.attr, []).append((module, node))
+        for name, lineno in sorted(fields.items()):
+            if name not in reads:
+                yield costs_module.violation(
+                    lineno, self.code,
+                    "primitive cost %r is never read by any composed path — "
+                    "orphaned calibration constant (wire it into a hypervisor "
+                    "path or remove it)" % name,
+                )
+        known = set(fields) | methods
+        for name, sites in sorted(reads.items()):
+            if name in known:
+                continue
+            for module, node in sites:
+                yield module.violation(
+                    node, self.code,
+                    "reference to undefined cost attribute %r — not a "
+                    "primitive or method of the cost model" % name,
+                )

@@ -1,0 +1,69 @@
+"""DES001 — dropped generator.
+
+Simulation paths are generators: their costed steps execute only while
+being driven by ``yield from`` or an engine process.  Calling one as a
+bare expression statement —
+
+.. code-block:: python
+
+    save_reg_class(pcpu, costs, reg_class)      # creates, then discards
+
+— creates a generator object, runs *zero* of its steps, and silently
+simulates zero cycles.  This is the classic DES bug: results stay
+plausible, they are just wrong.
+
+Detection is project-wide and name-based: a function is a *known
+generator* when every definition of that name in the scanned tree
+contains a ``yield``; a bare ``Expr(Call(...))`` statement invoking a
+known generator is flagged.  Passing the call to something
+(``engine.spawn(gen())``), ``yield from``-ing it, or binding the result
+are all fine — only the discarded bare call is the bug.
+"""
+
+import ast
+
+from repro.analysis.rules.base import Rule, terminal_name
+
+
+def _is_generator(function_def):
+    """Does the function body itself yield (nested defs don't count)?"""
+    stack = list(function_def.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+class DroppedGenerator(Rule):
+    code = "DES001"
+    name = "dropped-generator"
+    description = (
+        "a simulation generator called as a bare statement simulates "
+        "zero cycles; use 'yield from' or engine.spawn"
+    )
+
+    def check(self, project, config):
+        generators, plain = set(), set()
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    (generators if _is_generator(node) else plain).add(node.name)
+        # A name is only "known generator" when it is never also defined as
+        # a plain function somewhere (avoids cross-module false positives).
+        known = generators - plain
+        scope = config.paths_for(self.code)
+        for module in project.in_paths(scope):
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                    name = terminal_name(node.value.func)
+                    if name in known:
+                        yield module.violation(
+                            node, self.code,
+                            "generator %r called as a bare statement — its "
+                            "simulated steps never run; use 'yield from %s(...)' "
+                            "or schedule it with engine.spawn(...)" % (name, name),
+                        )

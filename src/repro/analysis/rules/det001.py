@@ -1,0 +1,110 @@
+"""DET001 — determinism.
+
+The engine's reproducibility claim (same seed, same cycle counts) dies the
+moment a model consults wall-clock time, ambient entropy, or Python's
+randomized set iteration order.  Banned in the model subsystems:
+
+* ``import random`` / ``from random import ...`` — only the seeded
+  stream factory ``repro.sim.rng`` may touch ``random``;
+* wall-clock reads: ``time.time``/``perf_counter``/``monotonic`` (and the
+  ``_ns`` variants), ``datetime.now``/``utcnow``/``today``;
+* ``os.urandom``;
+* iterating a bare set display, set comprehension, or ``set(...)`` call —
+  the order depends on PYTHONHASHSEED.
+"""
+
+import ast
+
+from repro.analysis.rules.base import Rule, terminal_name
+
+_WALL_CLOCK_TIME = {
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+}
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+_DATETIME_RECEIVERS = {"datetime", "date"}
+
+
+def _is_bare_set(node):
+    return isinstance(node, (ast.Set, ast.SetComp)) or (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "set"
+    )
+
+
+class Determinism(Rule):
+    code = "DET001"
+    name = "determinism"
+    description = (
+        "no ambient entropy or wall clocks in the model layers; "
+        "randomness only via repro.sim.rng"
+    )
+
+    def check(self, project, config):
+        scope = config.paths_for(self.code)
+        for module in project.in_paths(scope):
+            if module.relpath in config.det001_allow:
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "random":
+                        yield module.violation(
+                            node, self.code,
+                            "import of 'random' — use repro.sim.rng streams",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] == "random":
+                    yield module.violation(
+                        node, self.code,
+                        "import from 'random' — use repro.sim.rng streams",
+                    )
+                elif node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _WALL_CLOCK_TIME:
+                            yield module.violation(
+                                node, self.code,
+                                "wall-clock import 'time.%s' — simulation time "
+                                "is engine.now" % alias.name,
+                            )
+            elif isinstance(node, ast.Attribute):
+                receiver = terminal_name(node.value)
+                if receiver == "random":
+                    yield module.violation(
+                        node, self.code,
+                        "use of 'random.%s' — use repro.sim.rng streams" % node.attr,
+                    )
+                elif receiver == "time" and node.attr in _WALL_CLOCK_TIME:
+                    yield module.violation(
+                        node, self.code,
+                        "wall-clock read 'time.%s' — simulation time is "
+                        "engine.now" % node.attr,
+                    )
+                elif receiver in _DATETIME_RECEIVERS and node.attr in _WALL_CLOCK_DATETIME:
+                    yield module.violation(
+                        node, self.code,
+                        "wall-clock read '%s.%s' — simulation time is "
+                        "engine.now" % (receiver, node.attr),
+                    )
+                elif receiver == "os" and node.attr == "urandom":
+                    yield module.violation(
+                        node, self.code,
+                        "'os.urandom' — use repro.sim.rng streams",
+                    )
+            elif isinstance(node, ast.For) and _is_bare_set(node.iter):
+                yield module.violation(
+                    node, self.code,
+                    "iteration over a bare set — order depends on "
+                    "PYTHONHASHSEED; sort it or use a list/tuple",
+                )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for comprehension in node.generators:
+                    if _is_bare_set(comprehension.iter):
+                        yield module.violation(
+                            node, self.code,
+                            "comprehension over a bare set — order depends on "
+                            "PYTHONHASHSEED; sort it or use a list/tuple",
+                        )

@@ -10,6 +10,7 @@ Usage:
     python -m repro figures            # Figures 1-3/5 as ASCII
     python -m repro all                # the whole evaluation section
     python -m repro micro --platform xen-arm   # one platform's column
+    python -m repro lint               # model-integrity static analysis
 """
 
 import argparse
@@ -38,6 +39,12 @@ def _cmd_figures(_args):
         print()
 
 
+def _cmd_lint(args):
+    from repro.analysis import cli as analysis_cli
+
+    return analysis_cli.main(args.lint_args)
+
+
 COMMANDS = {
     "table2": lambda args: print(suite.table2_report()),
     "table3": lambda args: print(suite.table3_report()),
@@ -48,6 +55,7 @@ COMMANDS = {
     "figures": _cmd_figures,
     "all": lambda args: print(suite.full_report()),
     "micro": _cmd_micro,
+    "lint": _cmd_lint,
 }
 
 
@@ -73,13 +81,28 @@ def build_parser():
         default="kvm-arm",
         help="platform key (default kvm-arm)",
     )
+    lint = sub.add_parser(
+        "lint",
+        help="run the model-integrity linter (see python -m repro.analysis -h)",
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.analysis (paths, --format, --select, ...)",
+    )
     return parser
 
 
 def main(argv=None):
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["lint"]:
+        # forward verbatim: argparse.REMAINDER chokes on leading options
+        from repro.analysis import cli as analysis_cli
+
+        return analysis_cli.main(argv[1:])
     args = build_parser().parse_args(argv)
-    COMMANDS[args.command](args)
-    return 0
+    # lint returns the linter's exit status; report commands return None
+    return COMMANDS[args.command](args) or 0
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ import dataclasses
 
 from repro.core.microbench import MicrobenchmarkSuite
 from repro.core.testbed import build_testbed
+from repro.hv.base import PAGE_SIZE
 from repro.hv.blockio import native_block_cycles
 from repro.hw.mem.grant import grant_copy_cycles
 
@@ -60,7 +61,7 @@ def measure_derived_costs(key, seed=2016):
     if testbed.hypervisor.design == "type1":
         shootdown = testbed.hypervisor.shootdown
         grant_mtu = grant_copy_cycles(costs, shootdown, MTU_BYTES)
-        grant_page = grant_copy_cycles(costs, shootdown, 4096)
+        grant_page = grant_copy_cycles(costs, shootdown, PAGE_SIZE)
         amortized = shootdown.invalidate_cycles() * (GRANT_BATCH - 1) // GRANT_BATCH
         grant_mtu_batched = grant_mtu - amortized
         grant_page_batched = grant_page - amortized
@@ -96,11 +97,11 @@ def _measure_block_io(testbed):
         hv.park_vcpu(hv.dom0.vcpu(0))  # Dom0 idles between requests
     engine = testbed.engine
     start = engine.now
-    done = testbed.block_path.submit(vm.vcpu(0), 4096)
+    done = testbed.block_path.submit(vm.vcpu(0), PAGE_SIZE)
     finished = engine.run_until_fired(done)
     engine.run()
     virtualized = finished - start
-    native = native_block_cycles(testbed.block_device, 4096, testbed.kernel)
+    native = native_block_cycles(testbed.block_device, PAGE_SIZE, testbed.kernel)
     return max(0, virtualized - native)
 
 

@@ -31,6 +31,10 @@ ALL_KEYS = PLATFORM_KEYS + ["kvm-vhe-arm"]
 
 VM_PCPUS = [4, 5, 6, 7]
 HOST_PCPUS = [0, 1, 2, 3]
+#: paper Section III: each VM is configured with 12 GB of RAM
+VM_MEMORY_MB = 12288
+#: physical IRQ line the server NIC raises (SPI number on the GIC)
+SERVER_NIC_IRQ = 64
 
 
 @dataclasses.dataclass
@@ -82,8 +86,8 @@ def build_testbed(key, seed=2016, vapic=False, costs=None):
 
     if hv_kind == "xen":
         hypervisor.boot_dom0(num_vcpus=4, pcpu_indices=HOST_PCPUS)
-    vm = hypervisor.create_vm("vm0", 4, VM_PCPUS, memory_mb=12288)
-    vm2 = hypervisor.create_vm("vm1", 4, VM_PCPUS, memory_mb=12288)
+    vm = hypervisor.create_vm("vm0", 4, VM_PCPUS, memory_mb=VM_MEMORY_MB)
+    vm2 = hypervisor.create_vm("vm1", 4, VM_PCPUS, memory_mb=VM_MEMORY_MB)
 
     netstack = NetstackModel(machine.clock)
     kernel = KernelModel(machine.clock)
@@ -91,7 +95,7 @@ def build_testbed(key, seed=2016, vapic=False, costs=None):
         XenNetfront(machine.clock) if hv_kind == "xen" else VirtioNetFrontend(machine.clock)
     )
 
-    server_nic = Nic(machine.engine, "server", irq=64)
+    server_nic = Nic(machine.engine, "server", irq=SERVER_NIC_IRQ)
     client_nic = Nic(machine.engine, "client")
     wire = Wire(machine.engine, machine.clock)
     server_nic.attach(wire)
@@ -129,7 +133,7 @@ def native_testbed(arch, seed=2016):
     machine = Machine(platform, seed=seed)
     netstack = NetstackModel(machine.clock)
     kernel = KernelModel(machine.clock)
-    server_nic = Nic(machine.engine, "server", irq=64)
+    server_nic = Nic(machine.engine, "server", irq=SERVER_NIC_IRQ)
     client_nic = Nic(machine.engine, "client")
     wire = Wire(machine.engine, machine.clock)
     server_nic.attach(wire)

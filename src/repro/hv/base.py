@@ -20,6 +20,18 @@ GICD_BASE_GPA = 0x0800_0000
 GUEST_RAM_BASE_PAGE = 0x4_0000  # 1 GB
 GUEST_RAM_PREMAP_PAGES = 64
 
+#: Architectural translation granule (bytes) — the unit of grant mapping
+#: and paravirtual block transfers.
+PAGE_SIZE = 0x1000
+#: Guest-physical page regions backing the paravirtual I/O rings.  The
+#: exact values are tokens (any unused GPA range works); naming them keeps
+#: the frontend/backend/grant-table memory-map contract in one place.
+GRANT_TX_BASE_GPA = 0x1000
+GRANT_RX_BASE_GPA = 0x2000
+GRANT_BLK_BASE_GPA = 0x4000
+#: netback cycles grant pages over this many ring slots
+GRANT_RING_SLOTS = 64
+
 #: Every register class a split-mode ARM hypervisor must context switch
 #: (the rows of paper Table III).
 ALL_ARM_CLASSES = [

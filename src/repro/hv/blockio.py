@@ -13,6 +13,7 @@ differs:
 """
 
 from repro.errors import ConfigurationError
+from repro.hv.base import GRANT_BLK_BASE_GPA, PAGE_SIZE
 
 #: virtual IRQ for block completions
 VIRQ_BLOCK = 49
@@ -63,9 +64,9 @@ class BlockIoPath:
         costs = hv.costs
         pcpu = hv.dom0.vcpu(0).pcpu
         grants = hv.grant_tables[vcpu.vm.name]
-        pages = max(1, nbytes // 4096)
+        pages = max(1, nbytes // PAGE_SIZE)
         for page in range(pages):
-            ref = grants.grant(gpa_page=0x4000 + page)
+            ref = grants.grant(gpa_page=GRANT_BLK_BASE_GPA + page)
             grants.map_grant(ref, "dom0")
             yield pcpu.op("grant_map", costs.grant_map, "grant")
         yield pcpu.op("device_service", self.device.service_cycles(nbytes), "device")

@@ -6,6 +6,7 @@ mechanism — map hypercall + copy + unmap hypercall + global TLB
 invalidation — where KVM's vhost simply reads/writes guest buffers.
 """
 
+from repro.hv.base import GRANT_RING_SLOTS, GRANT_RX_BASE_GPA, GRANT_TX_BASE_GPA
 from repro.hw.mem.grant import grant_copy_cycles
 from repro.sim import Channel
 
@@ -46,7 +47,7 @@ class NetbackWorker:
             if observed_event is not None and not observed_event.fired:
                 observed_event.fire(hv.engine.now)
             if packet is not None:
-                yield from self._grant_copy(packet, "grant_copy_tx", 0x1000)
+                yield from self._grant_copy(packet, "grant_copy_tx", GRANT_TX_BASE_GPA)
                 hv.dom0_transmit(packet)
 
     def deliver_rx(self, packet, delivered_event=None):
@@ -55,7 +56,7 @@ class NetbackWorker:
         No zero copy: the payload sits in a Dom0 kernel buffer and must
         be grant-copied into the ring buffer the DomU offered.
         """
-        yield from self._grant_copy(packet, "grant_copy_rx", 0x2000)
+        yield from self._grant_copy(packet, "grant_copy_rx", GRANT_RX_BASE_GPA)
         self.processed_rx += 1
         done = self.hypervisor.notify_guest(self.domu, packet=packet)
         if delivered_event is not None:
@@ -65,7 +66,7 @@ class NetbackWorker:
         """One grant-mediated payload copy across the domain boundary."""
         hv = self.hypervisor
         grants = hv.grant_tables[self.domu.name]
-        ref = grants.grant(gpa_page=page_base + packet.id % 64)
+        ref = grants.grant(gpa_page=page_base + packet.id % GRANT_RING_SLOTS)
         grants.map_grant(ref, "dom0")
         grants.unmap_grant(ref, "dom0")
         grants.revoke(ref)

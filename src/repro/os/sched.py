@@ -7,6 +7,10 @@ tasks share the 4 VCPUs of the paper's test configuration.
 
 from repro.errors import ConfigurationError
 
+#: CFS NICE_0_LOAD: the weight of a nice-0 task; vruntime advances at
+#: real time scaled by NICE_0_LOAD / weight.
+NICE_0_LOAD = 1024.0
+
 
 class Task:
     """A schedulable entity with CFS-style virtual runtime."""
@@ -59,7 +63,7 @@ class CfsScheduler:
 
     def account(self, task, cycles):
         """Charge ``cycles`` of CPU to ``task`` (weight-scaled vruntime)."""
-        task.vruntime += cycles * 1024.0 / task.weight
+        task.vruntime += cycles * NICE_0_LOAD / task.weight
 
     def load(self):
         """Runnable tasks per CPU — >1 means the run queues are saturated."""

@@ -1,0 +1,21 @@
+"""API001 fixtures: raw hex GPA/page literals."""
+
+#: named module-level constant — allowed
+RING_BASE_GPA = 0x9000
+
+
+def map_request_ring(grants):
+    grants.grant(gpa_page=0x2000 + 4)  # expect: API001,CAL001
+
+
+def map_reviewed_ring(grants):
+    grants.grant(gpa_page=0x3000 + 4)  # repro-lint: ignore[API001,CAL001]
+
+
+def map_named_ring(grants):
+    grants.grant(gpa_page=RING_BASE_GPA + 4)
+
+
+def decimal_byte_count(nbytes):
+    """Decimal literals are CAL001's business, not API001's."""
+    return nbytes // 8192  # expect: CAL001

@@ -1,0 +1,35 @@
+"""CAL001 fixtures: anonymous cycle-scale literals and published cells."""
+
+#: named module-level constant — allowed
+RING_SLOTS = 256
+
+
+def charge_mystery_cost(pcpu):
+    """An anonymous inline cost: exactly what CAL001 exists to catch."""
+    yield pcpu.op("mystery", 6000, "host")  # expect: CAL001
+
+
+def hardcoded_virtual_ipi():
+    """A composed Table II result used as an input."""
+    return 11557  # expect: CAL001
+
+
+def hardcoded_table3_primitive():
+    """Table III cells belong in repro.hw.costs, nowhere else."""
+    return 3250  # expect: CAL001
+
+
+def tuned_but_reviewed(pcpu):
+    """Same shape as the violation above, but explicitly waived."""
+    yield pcpu.op("tuned", 6000, "host")  # repro-lint: ignore[CAL001]
+
+
+def named_in_function_body():
+    """A function-body rename still gives the literal a name — allowed."""
+    spin_cycles = 7000
+    return spin_cycles
+
+
+def unit_conversion(cycles, frequency_hz):
+    """Powers of ten are unit conversions, not costs — allowed."""
+    return cycles * 1000000.0 / frequency_hz

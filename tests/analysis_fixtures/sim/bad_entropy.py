@@ -1,0 +1,39 @@
+"""DET001 fixtures: ambient entropy, wall clocks, set-order dependence."""
+
+import random  # expect: DET001
+
+
+def jitter():
+    return random.uniform(0.0, 1.0)  # expect: DET001
+
+
+def reviewed_jitter():
+    return random.gauss(0.0, 1.0)  # repro-lint: ignore[DET001]
+
+
+def wall_clock_stamp():
+    import time
+
+    return time.time()  # expect: DET001
+
+
+def calendar_stamp(datetime):
+    return datetime.now()  # expect: DET001
+
+
+def ambient_entropy(os):
+    return os.urandom(8)  # expect: DET001
+
+
+def drain_in_hash_order(ready):
+    for name in {"vcpu0", "vcpu1", "vcpu2"}:  # expect: DET001
+        ready.discard(name)
+
+
+def scan_in_hash_order(pending):
+    return [item for item in set(pending)]  # expect: DET001
+
+
+def deterministic_drain(ready):
+    for name in sorted(ready):
+        ready.discard(name)
