@@ -11,9 +11,14 @@ Usage:
     python -m repro all                # the whole evaluation section
     python -m repro micro --platform xen-arm   # one platform's column
     python -m repro lint               # model-integrity static analysis
+    python -m repro trace table3 -o trace.json   # Perfetto span trace
+
+Table commands accept ``--emit-json PATH`` to write the underlying
+results as JSON alongside the rendered table.
 """
 
 import argparse
+import json
 import sys
 
 from repro.core import reporting, suite
@@ -45,6 +50,52 @@ def _cmd_lint(args):
     return analysis_cli.main(args.lint_args)
 
 
+def _cmd_trace(args):
+    from repro.obs import capture as obs_capture
+    from repro.obs.export import render_metrics, render_span_tree, write_chrome_trace
+
+    cap = obs_capture.capture(
+        args.target, key=args.platform, trace_resume=args.resume_spans
+    )
+    print(
+        "%s on %s: %d cycles, %d spans"
+        % (cap.target, cap.key, cap.cycles, sum(1 for _ in cap.obs.spans.iter_spans()))
+    )
+    print()
+    print(render_span_tree(cap.obs.spans))
+    print()
+    print(render_metrics(cap.obs.metrics))
+    if args.output:
+        write_chrome_trace(
+            args.output,
+            cap.obs.spans,
+            cap.obs.metrics,
+            machine_name=cap.machine.platform.name,
+            extra={"target": cap.target, "platform_key": cap.key},
+        )
+        print("\nwrote %s" % args.output)
+
+
+#: table commands with a JSON-serializable ``suite.*_data`` twin
+DATA_FUNCS = {
+    "table2": lambda args: suite.table2_data(),
+    "table3": lambda args: suite.table3_data(),
+    "table5": lambda args: suite.table5_data(args.transactions),
+    "figure4": lambda args: suite.figure4_data(),
+    "ablation": lambda args: suite.ablation_data(),
+    "vhe": lambda args: suite.vhe_data(),
+}
+
+
+def _maybe_emit_json(args):
+    path = getattr(args, "emit_json", None)
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(DATA_FUNCS[args.command](args), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
 COMMANDS = {
     "table2": lambda args: print(suite.table2_report()),
     "table3": lambda args: print(suite.table3_report()),
@@ -56,6 +107,7 @@ COMMANDS = {
     "all": lambda args: print(suite.full_report()),
     "micro": _cmd_micro,
     "lint": _cmd_lint,
+    "trace": _cmd_trace,
 }
 
 
@@ -68,11 +120,44 @@ def build_parser():
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    for name in ("table2", "table3", "figure4", "ablation", "vhe", "figures", "all"):
+    for name in ("figures", "all"):
         sub.add_parser(name, help="regenerate %s" % name)
+    for name in ("table2", "table3", "figure4", "ablation", "vhe"):
+        table = sub.add_parser(name, help="regenerate %s" % name)
+        table.add_argument(
+            "--emit-json",
+            metavar="PATH",
+            help="also write the results as JSON to PATH",
+        )
     table5 = sub.add_parser("table5", help="regenerate table5")
     table5.add_argument(
         "--transactions", type=int, default=40, help="TCP_RR transactions to simulate"
+    )
+    table5.add_argument(
+        "--emit-json", metavar="PATH", help="also write the results as JSON to PATH"
+    )
+    trace = sub.add_parser(
+        "trace",
+        help="run one operation with observability on; print the span tree "
+        "and optionally write a Perfetto-loadable Chrome trace JSON",
+    )
+    from repro.obs.capture import ALL_TARGETS
+
+    trace.add_argument("target", choices=ALL_TARGETS, help="what to trace")
+    trace.add_argument(
+        "--platform",
+        choices=ALL_KEYS,
+        default="kvm-arm",
+        help="platform key for microbenchmark targets (default kvm-arm; "
+        "table3 is always kvm-arm)",
+    )
+    trace.add_argument(
+        "-o", "--output", metavar="PATH", help="write Chrome trace JSON to PATH"
+    )
+    trace.add_argument(
+        "--resume-spans",
+        action="store_true",
+        help="also mark every simulation-process resume on the engine track",
     )
     micro = sub.add_parser("micro", help="one platform's microbenchmark column")
     micro.add_argument(
@@ -102,7 +187,9 @@ def main(argv=None):
         return analysis_cli.main(argv[1:])
     args = build_parser().parse_args(argv)
     # lint returns the linter's exit status; report commands return None
-    return COMMANDS[args.command](args) or 0
+    status = COMMANDS[args.command](args) or 0
+    _maybe_emit_json(args)
+    return status
 
 
 if __name__ == "__main__":

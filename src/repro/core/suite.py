@@ -7,7 +7,13 @@
 >>> print(suite.figure4_report())         # application benchmarks
 >>> print(suite.ablation_report())        # Section V IRQ distribution
 >>> print(suite.vhe_report())             # Section VI VHE comparison
+
+Each ``*_report`` renderer has a ``*_data`` twin returning the same
+results as JSON-serializable structures (``python -m repro table2
+--emit-json out.json`` on the command line).
 """
+
+import dataclasses
 
 from repro.core import reporting
 from repro.core.breakdown import hypercall_breakdown
@@ -29,17 +35,47 @@ def table2_report():
     return reporting.render_table2(run_table2())
 
 
+def table2_data(keys=None):
+    return {key: dict(results) for key, results in run_table2(keys).items()}
+
+
 def table3_report():
     return reporting.render_table3(hypercall_breakdown())
+
+
+def table3_data():
+    breakdown = hypercall_breakdown()
+    return {
+        "rows": [dataclasses.asdict(row) for row in breakdown.rows],
+        "save_total": breakdown.save_total,
+        "restore_total": breakdown.restore_total,
+        "other_cycles": breakdown.other_cycles,
+        "total_cycles": breakdown.total_cycles,
+    }
 
 
 def table5_report(transactions=40):
     return reporting.render_table5(run_table5(transactions))
 
 
+def table5_data(transactions=40):
+    return {
+        config: result.as_dict()
+        for config, result in run_table5(transactions).items()
+    }
+
+
 def figure4_report(keys=None):
     keys = keys or PLATFORM_ORDER
     return reporting.render_figure4(run_figure4(keys), keys)
+
+
+def figure4_data(keys=None):
+    keys = keys or PLATFORM_ORDER
+    return {
+        workload: {key: dataclasses.asdict(result) for key, result in row.items()}
+        for workload, row in run_figure4(keys).items()
+    }
 
 
 def ablation_report():
@@ -58,6 +94,15 @@ def ablation_report():
     return reporting.render_table(
         headers, rows, title="Section V ablation: virtual interrupt distribution"
     )
+
+
+def ablation_data():
+    return {
+        "%s/%s" % (key, workload): dict(
+            dataclasses.asdict(point), improvement_pct=point.improvement_pct
+        )
+        for (key, workload), point in run_irq_distribution_ablation().items()
+    }
 
 
 def vhe_report():
@@ -79,6 +124,20 @@ def vhe_report():
         headers, rows, title="Section VI: application overhead, split-mode vs VHE"
     )
     return micro + "\n\n" + apps
+
+
+def vhe_data():
+    comparison = run_vhe_comparison()
+    return {
+        "microbench": {
+            name: {"split_cycles": split, "vhe_cycles": vhe, "speedup": speedup}
+            for name, (split, vhe, speedup) in comparison.microbench.items()
+        },
+        "applications": {
+            name: {"split_normalized": split, "vhe_normalized": vhe, "improvement_pts": pts}
+            for name, (split, vhe, pts) in comparison.applications.items()
+        },
+    }
 
 
 def full_report():

@@ -158,8 +158,12 @@ class Hypervisor:
         self.engine = machine.engine
         self.costs = machine.costs
         self.vms = []
-        #: statistics for workload accounting
-        self.stats = {"traps": 0, "vm_switches": 0, "virqs_injected": 0}
+        #: statistics for workload accounting — a dict-like facade over
+        #: the machine's metrics registry (``hv.traps`` etc.), so the
+        #: observability exporters see the same numbers.
+        self.stats = machine.obs.metrics.bank(
+            "hv", ("traps", "vm_switches", "virqs_injected")
+        )
 
     # --- VM lifecycle ---------------------------------------------------
 

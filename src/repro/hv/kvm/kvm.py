@@ -140,9 +140,11 @@ class KvmHypervisor(Hypervisor):
 
     def run_hypercall(self, vcpu):
         """Row 1: null hypercall round trip."""
+        span = self.machine.obs.spans.begin("hypercall", "operation", vcpu.pcpu.index)
         yield from self._exit(vcpu, reason="hypercall")
         yield vcpu.pcpu.op("hypercall_body", self.costs.hypercall_body, "host")
         yield from self._enter(vcpu)
+        self.machine.obs.spans.end(span)
 
     def run_intc_trap(self, vcpu):
         """Row 2: emulated interrupt-controller register access.
@@ -150,6 +152,7 @@ class KvmHypervisor(Hypervisor):
         KVM's distinguishing cost: the emulation runs in the *host*, so
         the access pays the full exit before any emulation happens.
         """
+        span = self.machine.obs.spans.begin("intc_trap", "operation", vcpu.pcpu.index)
         if self.machine.is_arm:
             self._distributor_stage2_fault(vcpu)  # the trap's real cause
         yield from self._exit(vcpu, reason="intc-mmio")
@@ -161,6 +164,7 @@ class KvmHypervisor(Hypervisor):
         else:
             yield pcpu.op("apic_access", costs.apic_access_kvm, "emul")
         yield from self._enter(vcpu)
+        self.machine.obs.spans.end(span)
 
     def send_virtual_ipi(self, src_vcpu, dst_vcpu):
         """Row 3: virtual IPI between VCPUs on different PCPUs."""
@@ -174,6 +178,7 @@ class KvmHypervisor(Hypervisor):
 
     def _send_virtual_ipi(self, src_vcpu, dst_vcpu, done):
         pcpu, costs = src_vcpu.pcpu, self.costs
+        span = self.machine.obs.spans.begin("virtual_ipi_send", "operation", pcpu.index)
         if self.machine.is_arm:
             self._distributor_stage2_fault(src_vcpu)  # SGIR is MMIO too
         yield from self._exit(src_vcpu, reason="sgi-write")
@@ -191,6 +196,7 @@ class KvmHypervisor(Hypervisor):
             {"kind": "inject_running", "vcpu": dst_vcpu, "done": done},
         )
         yield from self._enter(src_vcpu)
+        self.machine.obs.spans.end(span)
 
     def complete_virq(self, vcpu, virq):
         """Row 4: guest acknowledges-and-completes a virtual interrupt."""
@@ -226,6 +232,7 @@ class KvmHypervisor(Hypervisor):
             raise ConfigurationError("VM switch benchmark uses one physical core")
         self.stats["vm_switches"] += 1
         pcpu, costs = vcpu_out.pcpu, self.costs
+        span = self.machine.obs.spans.begin("vm_switch", "operation", pcpu.index)
         yield from self._exit(vcpu_out, reason="preempt")
         if self.vhe:
             yield from ws.vhe_deferred_save(self.machine, vcpu_out)
@@ -233,6 +240,7 @@ class KvmHypervisor(Hypervisor):
         if self.vhe:
             yield from ws.vhe_deferred_restore(self.machine, vcpu_in)
         yield from self._enter(vcpu_in)
+        self.machine.obs.spans.end(span)
 
     def kick_backend(self, vcpu, packet=None):
         """Row 6 (I/O Latency Out): virtio doorbell -> vhost signaled.
@@ -246,6 +254,7 @@ class KvmHypervisor(Hypervisor):
 
     def _kick(self, vcpu, packet, observed):
         pcpu, costs = vcpu.pcpu, self.costs
+        span = self.machine.obs.spans.begin("virtio_kick", "io", pcpu.index)
         device = self.virtio_devices[vcpu.vm.name]
         if packet is not None:
             device.tx.guest_post({"packet": packet})
@@ -264,6 +273,7 @@ class KvmHypervisor(Hypervisor):
         observed.fire(self.engine.now)
         self.vhost_workers[vcpu.vm.name].signal_kick(packet)
         yield from self._enter(vcpu)
+        self.machine.obs.spans.end(span)
 
     def notify_guest(self, vm, virq=VIRQ_VIRTIO_NET, packet=None):
         """Row 7 (I/O Latency In): backend signals the VM; the event fires
@@ -275,6 +285,7 @@ class KvmHypervisor(Hypervisor):
     def _notify(self, vm, virq, packet, done):
         worker = self.vhost_workers[vm.name]
         pcpu, costs = worker.pcpu, self.costs
+        span = self.machine.obs.spans.begin("virtio_notify", "io", pcpu.index)
         dst = vm.next_irq_vcpu()
         dst.queue_virq(virq)
         self.stats["virqs_injected"] += 1
@@ -289,6 +300,7 @@ class KvmHypervisor(Hypervisor):
             self.machine.ipi.send(
                 dst.pcpu, HOST_WAKE_IRQ, {"kind": "wake_enter", "vcpu": dst, "done": done}
             )
+        self.machine.obs.spans.end(span)
 
     def deliver_timer_virq(self, vcpu, done=None):
         """Virtual-timer expiry: the physical PPI fires on the VCPU's own

@@ -29,10 +29,12 @@ class VhostWorker:
         self.kick_channel = Channel(engine, "%s.vhost.kicks" % vm.name)
         self.processed_tx = 0
         self.processed_rx = 0
+        self._kick_counter = hypervisor.machine.obs.metrics.counter("kvm.vhost_kicks")
         self._proc = engine.spawn(self._run(), name="%s.vhost" % vm.name)
 
     def signal_kick(self, packet=None):
         """Called from the VM-exit fast path (ioeventfd write)."""
+        self._kick_counter.inc()
         self.kick_channel.put(packet)
 
     def _run(self):

@@ -37,6 +37,7 @@ def split_mode_exit(machine, vcpu, dispatch=True, reason="trap"):
     which Table III shows dominates (3,250 of 4,202 save cycles)."""
     pcpu, costs = vcpu.pcpu, machine.costs
     arch = pcpu.arch
+    span = machine.obs.spans.begin("split_mode_exit", "world-switch", pcpu.index)
     arch.trap_to_el2(reason)
     yield pcpu.op("trap_to_el2", costs.trap_to_el2, "trap")
     for reg_class in ARM_SWITCH_ORDER:
@@ -51,12 +52,14 @@ def split_mode_exit(machine, vcpu, dispatch=True, reason="trap"):
         yield pcpu.op("kvm_exit_dispatch", costs.kvm_exit_dispatch, "host")
     vcpu.state = VcpuState.HOST
     pcpu.current_context = "host"
+    machine.obs.spans.end(span)
 
 
 def split_mode_enter(machine, vcpu, inject_virq=None):
     """Host (EL1) -> EL2 lowvisor -> VM (EL1)."""
     pcpu, costs = vcpu.pcpu, machine.costs
     arch = pcpu.arch
+    span = machine.obs.spans.begin("split_mode_enter", "world-switch", pcpu.index)
     arch.trap_to_el2("hvc-from-host")
     yield pcpu.op("hvc_to_el2", costs.trap_to_el2, "trap")
     arch.enable_virt_features(vcpu.vm.vmid)
@@ -72,6 +75,7 @@ def split_mode_enter(machine, vcpu, inject_virq=None):
     yield pcpu.op("eret_to_guest", costs.eret_to_el1, "trap")
     vcpu.state = VcpuState.GUEST
     pcpu.current_context = vcpu
+    machine.obs.spans.end(span)
 
 
 def vhe_exit(machine, vcpu, dispatch=True, reason="trap"):
@@ -80,6 +84,7 @@ def vhe_exit(machine, vcpu, dispatch=True, reason="trap"):
     virtualization-feature toggling (Stage-2 only applies to EL1/EL0)."""
     pcpu, costs = vcpu.pcpu, machine.costs
     arch = pcpu.arch
+    span = machine.obs.spans.begin("vhe_exit", "world-switch", pcpu.index)
     arch.trap_to_el2(reason)
     yield pcpu.op("trap_to_el2", costs.trap_to_el2, "trap")
     yield pcpu.op("save_gp_light", costs.gp_save_light, "save")
@@ -88,12 +93,14 @@ def vhe_exit(machine, vcpu, dispatch=True, reason="trap"):
         yield pcpu.op("kvm_vhe_dispatch", costs.kvm_vhe_dispatch, "host")
     vcpu.state = VcpuState.HOST
     pcpu.current_context = "host"
+    machine.obs.spans.end(span)
 
 
 def vhe_enter(machine, vcpu, inject_virq=None):
     """VHE host (EL2) -> VM (EL1): restore GP bank and eret."""
     pcpu, costs = vcpu.pcpu, machine.costs
     arch = pcpu.arch
+    span = machine.obs.spans.begin("vhe_enter", "world-switch", pcpu.index)
     if inject_virq is not None:
         vcpu.vif.inject(inject_virq)
         yield pcpu.op("virq_inject_lr", costs.virq_inject_lr, "vgic")
@@ -103,6 +110,7 @@ def vhe_enter(machine, vcpu, inject_virq=None):
     yield pcpu.op("eret_to_guest", costs.eret_to_el1, "trap")
     vcpu.state = VcpuState.GUEST
     pcpu.current_context = vcpu
+    machine.obs.spans.end(span)
 
 
 #: The classes a VHE host must still move when it *deschedules* a VCPU
@@ -135,17 +143,20 @@ def vhe_deferred_restore(machine, vcpu):
 def x86_exit(machine, vcpu, dispatch=True, reason="vmexit"):
     """Non-root -> root: the hardware moves the state to the VMCS."""
     pcpu, costs = vcpu.pcpu, machine.costs
+    span = machine.obs.spans.begin("x86_exit", "world-switch", pcpu.index)
     pcpu.arch.vmexit(reason)
     yield pcpu.op("vmexit_hw", costs.vmexit_hw, "hw-switch")
     if dispatch:
         yield pcpu.op("kvm_exit_dispatch", costs.kvm_exit_dispatch, "host")
     vcpu.state = VcpuState.HOST
     pcpu.current_context = "host"
+    machine.obs.spans.end(span)
 
 
 def x86_enter(machine, vcpu, inject_vector=None):
     """Root -> non-root, optionally with event injection."""
     pcpu, costs = vcpu.pcpu, machine.costs
+    span = machine.obs.spans.begin("x86_enter", "world-switch", pcpu.index)
     if pcpu.arch.loaded_vmcs is not vcpu.vmcs:
         pcpu.arch.load_vmcs(vcpu.vmcs)
         yield pcpu.op("vmcs_switch", costs.vmcs_switch, "hw-switch")
@@ -156,3 +167,4 @@ def x86_enter(machine, vcpu, inject_vector=None):
     pcpu.arch.vmentry()
     vcpu.state = VcpuState.GUEST
     pcpu.current_context = vcpu
+    machine.obs.spans.end(span)

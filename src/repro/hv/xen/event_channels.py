@@ -26,10 +26,12 @@ class EventChannelTable:
     machine, which is equivalent to Xen's per-domain tables for our two-
     domain setups)."""
 
-    def __init__(self):
+    def __init__(self, metrics=None):
         self._next_port = 1
         self._channels = {}
         self.sends = 0
+        #: shared observability counter (see repro.obs), if registered
+        self._send_counter = metrics.counter("xen.evtchn_sends") if metrics else None
 
     def bind_interdomain(self, local_vcpu, remote_vcpu):
         """Create a channel pair; returns (local_port, remote_port)."""
@@ -44,6 +46,8 @@ class EventChannelTable:
         """EVTCHNOP_send on ``port``: returns the VCPU to kick."""
         channel = self._lookup(port)
         self.sends += 1
+        if self._send_counter is not None:
+            self._send_counter.inc()
         self._partner(channel).pending = True
         return channel.remote_vcpu
 

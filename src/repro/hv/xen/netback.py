@@ -30,6 +30,7 @@ class NetbackWorker:
         self.tx_channel = Channel(engine, "%s.netback.tx" % domu.name)
         self.processed_tx = 0
         self.processed_rx = 0
+        self._grant_ops = hypervisor.machine.obs.metrics.counter("xen.grant_ops")
         self._proc = engine.spawn(self._run(), name="%s.netback" % domu.name)
 
     def signal_observed_tx(self, observed_event=None, packet=None):
@@ -70,6 +71,7 @@ class NetbackWorker:
         grants.map_grant(ref, "dom0")
         grants.unmap_grant(ref, "dom0")
         grants.revoke(ref)
+        self._grant_ops.inc()
         yield self.pcpu.op(
             label, grant_copy_cycles(hv.costs, self.shootdown, packet.size), "copy"
         )

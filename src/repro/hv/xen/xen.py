@@ -41,7 +41,7 @@ class XenHypervisor(Hypervisor):
 
     def __init__(self, machine):
         super().__init__(machine)
-        self.event_channels = EventChannelTable()
+        self.event_channels = EventChannelTable(metrics=machine.obs.metrics)
         self.scheduler = CreditScheduler()
         self.grant_tables = {}
         self.netback_workers = {}
@@ -171,6 +171,7 @@ class XenHypervisor(Hypervisor):
         costs = self.costs
         arch = pcpu.arch
         out = pcpu.current_context
+        span = self.machine.obs.spans.begin("domain_switch", "world-switch", pcpu.index)
         if self.machine.is_arm:
             if arch.current_el != ExceptionLevel.EL2:
                 arch.trap_to_el2("domain-switch")
@@ -220,13 +221,16 @@ class XenHypervisor(Hypervisor):
         in_vcpu.state = VcpuState.GUEST
         pcpu.current_context = in_vcpu
         self.scheduler.wake(in_vcpu)
+        self.machine.obs.spans.end(span)
 
     # --- Table I operations -----------------------------------------------------
 
     def run_hypercall(self, vcpu):
         """Row 1: on ARM, little more than a GP push/pop in EL2."""
+        span = self.machine.obs.spans.begin("hypercall", "operation", vcpu.pcpu.index)
         yield from self._xen_entry(vcpu, "hypercall")
         yield from self._xen_return(vcpu)
+        self.machine.obs.spans.end(span)
 
     def run_intc_trap(self, vcpu):
         """Row 2: the distributor is emulated *in EL2* — no host round trip."""
@@ -315,6 +319,7 @@ class XenHypervisor(Hypervisor):
 
     def _kick(self, vcpu, packet, observed):
         pcpu, costs = vcpu.pcpu, self.costs
+        span = self.machine.obs.spans.begin("evtchn_kick", "io", pcpu.index)
         worker = self.netback_workers[vcpu.vm.name]
         yield from self._xen_entry(vcpu, "evtchn-send")
         yield pcpu.op("evtchn_send", costs.evtchn_send, "hv")
@@ -329,6 +334,7 @@ class XenHypervisor(Hypervisor):
             on_upcall=lambda: worker.signal_observed_tx(observed, packet),
         )
         yield from self._xen_return(vcpu)
+        self.machine.obs.spans.end(span)
 
     def notify_guest(self, vm, virq=VIRQ_EVTCHN, packet=None):
         """Row 7: Dom0 -> (Xen, IPI, idle->DomU switch) -> guest virq."""
@@ -339,6 +345,7 @@ class XenHypervisor(Hypervisor):
     def _notify(self, vm, virq, done):
         dom0_vcpu = self.dom0.vcpu(0)
         pcpu, costs = dom0_vcpu.pcpu, self.costs
+        span = self.machine.obs.spans.begin("evtchn_notify", "io", pcpu.index)
         yield from self._xen_entry(dom0_vcpu, "evtchn-send")
         yield pcpu.op("evtchn_send", costs.evtchn_send, "hv")
         if self.machine.is_arm:
@@ -349,6 +356,7 @@ class XenHypervisor(Hypervisor):
         dst.queue_virq(virq)
         self._deliver_event(dst, done=done)
         yield from self._xen_return(dom0_vcpu)
+        self.machine.obs.spans.end(span)
 
     def deliver_timer_virq(self, vcpu, done=None):
         """Virtual-timer expiry: handled entirely in EL2 (Xen emulates
@@ -423,6 +431,7 @@ class XenHypervisor(Hypervisor):
         """Physical IPI landed while the target domain runs: trap to Xen,
         ack, inject, return."""
         pcpu, costs = vcpu.pcpu, self.costs
+        span = self.machine.obs.spans.begin("virq_inject_running", "interrupt", pcpu.index)
         if self.machine.is_arm:
             pcpu.arch.trap_to_el2("phys-irq")
             yield pcpu.op("trap_to_el2", costs.trap_to_el2, "trap")
@@ -444,6 +453,7 @@ class XenHypervisor(Hypervisor):
             yield pcpu.op("virq_inject", costs.virq_inject, "inject")
             yield pcpu.op("vmentry_hw", costs.vmentry_hw, "hw-switch")
             pcpu.arch.vmentry()
+        self.machine.obs.spans.end(span)
 
     def _guest_handles_virq(self, vcpu, virq):
         result = yield from super()._guest_handles_virq(vcpu, virq)
@@ -500,7 +510,7 @@ class XenHypervisor(Hypervisor):
                 lapic.deliver_highest()
             yield from self.complete_virq(dom0_vcpu, VIRQ_EVTCHN)
         elif pcpu.current_context is dom0_vcpu:
-            yield from self._inject_into_running(dom0_vcpu)
+            yield from self._inject_into_running(dom0_vcpu, VIRQ_EVTCHN)
             yield from self._guest_handles_virq(dom0_vcpu, VIRQ_EVTCHN)
             yield from self.complete_virq(dom0_vcpu, VIRQ_EVTCHN)
         packet.stamp("host.rx_driver", self.engine.now)

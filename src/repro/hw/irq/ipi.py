@@ -12,17 +12,21 @@ from repro.errors import ConfigurationError
 class IpiFabric:
     """Routes cross-CPU interrupt signals with wire latency."""
 
-    def __init__(self, engine, wire_cycles):
+    def __init__(self, engine, wire_cycles, metrics=None):
         self.engine = engine
         self.wire_cycles = wire_cycles
         #: statistics: count of IPIs sent, for workload accounting
         self.sent = 0
+        #: shared observability counter (see repro.obs), if registered
+        self._sent_counter = metrics.counter("hw.ipis_sent") if metrics else None
 
     def send(self, target_pcpu, irq, payload=None):
         """Raise ``irq`` on ``target_pcpu`` after the wire delay."""
         if target_pcpu is None:
             raise ConfigurationError("IPI needs a target PCPU")
         self.sent += 1
+        if self._sent_counter is not None:
+            self._sent_counter.inc()
         self.engine.schedule(
             self.wire_cycles, lambda: target_pcpu.raise_physical_irq(irq, payload)
         )

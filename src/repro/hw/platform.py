@@ -20,6 +20,7 @@ from repro.hw.cpu.x86 import X86Cpu
 from repro.hw.irq.apic import Apic
 from repro.hw.irq.gic import Gic
 from repro.hw.irq.ipi import IpiFabric
+from repro.obs import Observability
 from repro.sim import Clock, DeterministicRng, Engine, Timeout, Tracer
 
 ARM = "arm"
@@ -85,8 +86,13 @@ class Pcpu:
         """A costed step: records into the tracer, returns its Timeout.
 
         Hypervisor paths use ``yield pcpu.op("save_vgic", 3250, "save")``.
+        When observability is enabled the step is also recorded as a leaf
+        span at the current engine time (see :mod:`repro.obs`).
         """
         self.machine.tracer.record(label, cycles, category, pcpu=self.index)
+        spans = self.machine.obs.spans
+        if spans.enabled:
+            spans.step(label, cycles, category, pcpu=self.index)
         return Timeout(cycles)
 
     def raise_physical_irq(self, irq, payload=None):
@@ -111,6 +117,8 @@ class Machine:
         self.engine = Engine()
         self.clock = Clock(platform.frequency_hz)
         self.tracer = Tracer(enabled=False)
+        #: structured observability (spans + metrics), disabled by default
+        self.obs = Observability(self.engine)
         self.rng = DeterministicRng(seed)
         self.costs = platform.costs
         self.counter = CycleCounter(self.engine)
@@ -129,7 +137,9 @@ class Machine:
             self.gic = None
             self.apic = Apic(platform.num_cores)
         self.pcpus = [Pcpu(self, i, cpu) for i, cpu in enumerate(cpus)]
-        self.ipi = IpiFabric(self.engine, wire_cycles=platform.costs.ipi_wire)
+        self.ipi = IpiFabric(
+            self.engine, wire_cycles=platform.costs.ipi_wire, metrics=self.obs.metrics
+        )
 
     @property
     def is_arm(self):

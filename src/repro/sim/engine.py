@@ -19,6 +19,9 @@ class Engine:
         self._queue = []  # heap of (time, seq, callable)
         self._seq = 0
         self._processes = []
+        #: optional observability hook (see repro.obs): when set, its
+        #: ``process_resumed(process)`` is called on every process resume.
+        self.observer = None
 
     @property
     def now(self):
@@ -30,7 +33,13 @@ class Engine:
         return SimEvent(self, name)
 
     def schedule(self, delay, callback):
-        """Run ``callback()`` after ``delay`` cycles."""
+        """Run ``callback()`` after ``delay`` cycles (a non-negative int)."""
+        if not isinstance(delay, int):
+            # Float delays would silently break the integer-cycle
+            # determinism contract Timeout already enforces.
+            raise SimulationError(
+                "delay must be an integer cycle count, got %r" % (delay,)
+            )
         if delay < 0:
             raise SimulationError("cannot schedule into the past (delay=%d)" % delay)
         self._seq += 1
@@ -127,11 +136,16 @@ class Engine:
         :class:`SimulationError`.
         """
         while self._queue and not event.fired:
-            time, _seq, callback = heapq.heappop(self._queue)
+            time, _seq, callback = self._queue[0]
             if limit is not None and time > limit:
+                # Peek, don't pop: the queue must stay intact so the
+                # caller can recover (or inspect) after the limit error.
                 raise SimulationError(
                     "event %r did not fire within %d cycles" % (event.name, limit)
                 )
+            if time < self._now:
+                raise SimulationError("time went backwards: %d < %d" % (time, self._now))
+            heapq.heappop(self._queue)
             self._now = time
             callback()
         if not event.fired:

@@ -66,9 +66,20 @@ class SimEvent:
             callback(value)
 
     def reset(self):
-        """Re-arm a fired event so it can fire again."""
+        """Re-arm a fired event so it can fire again.
+
+        Resetting with waiters or ``on_fire`` callbacks still pending is an
+        error: a stale combinator callback surviving a reset would run on
+        the *next* fire and wake its process with the wrong value/index.
+        (Firing clears both lists, so a normal fire -> reset -> fire reuse
+        cycle never trips this.)
+        """
         if self._waiters:
             raise SimulationError("cannot reset event %r with waiters" % (self.name,))
+        if self._callbacks:
+            raise SimulationError(
+                "cannot reset event %r with on_fire callbacks pending" % (self.name,)
+            )
         self._fired = False
         self._value = None
 

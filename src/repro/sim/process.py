@@ -35,6 +35,9 @@ class Process:
         """Advance the generator with ``value``; dispatch the next command."""
         if self._done:
             return
+        observer = self.engine.observer
+        if observer is not None:
+            observer.process_resumed(self)
         try:
             command = self._generator.send(value)
         except StopIteration as stop:

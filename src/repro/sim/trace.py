@@ -3,9 +3,16 @@
 Hypervisor transition paths execute as sequences of named, costed steps.
 A :class:`Tracer` collects them, so a breakdown like "VGIC Regs: save
 3,250 cycles" falls out of the simulated path rather than being asserted.
+
+Traces nest explicitly: ``begin`` pushes onto a stack, ``end`` pops, and
+steps are recorded into the innermost open trace.  For wall-position
+spans (start/end at engine ``now``, parent/child attribution) see the
+structured layer in :mod:`repro.obs`.
 """
 
 from collections import OrderedDict
+
+from repro.errors import SimulationError
 
 
 class Step:
@@ -81,21 +88,34 @@ class Tracer:
     def __init__(self, enabled=False):
         self.enabled = enabled
         self.traces = []
-        self._current = None
+        self._stack = []
+
+    @property
+    def depth(self):
+        """Number of currently open (begun, not ended) traces."""
+        return len(self._stack)
 
     def begin(self, name):
-        """Start a new trace; subsequent records attach to it."""
-        self._current = StepTrace(name)
-        self.traces.append(self._current)
-        return self._current
+        """Start a new trace; subsequent records attach to it.
 
-    def end(self):
-        trace, self._current = self._current, None
+        Nesting is explicit: a ``begin`` while another trace is open
+        pushes onto a stack instead of silently discarding the open
+        trace; the matching ``end`` resumes recording into the outer one.
+        """
+        trace = StepTrace(name)
+        self.traces.append(trace)
+        self._stack.append(trace)
         return trace
 
+    def end(self):
+        """Finish the innermost open trace and return it."""
+        if not self._stack:
+            raise SimulationError("Tracer.end() with no trace begun")
+        return self._stack.pop()
+
     def record(self, label, cycles, category="", pcpu=None):
-        if self.enabled and self._current is not None:
-            self._current.add(Step(label, cycles, category, pcpu))
+        if self.enabled and self._stack:
+            self._stack[-1].add(Step(label, cycles, category, pcpu))
 
     @property
     def last(self):

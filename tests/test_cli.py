@@ -49,3 +49,66 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "Microbenchmark" in out
         assert "kvm-arm" in out
+
+
+class TestTraceCommand:
+    def test_trace_target_choices(self):
+        args = build_parser().parse_args(["trace", "table3", "-o", "t.json"])
+        assert args.target == "table3" and args.output == "t.json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "table9"])
+
+    def test_trace_prints_span_tree(self, capsys):
+        assert main(["trace", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "hypercall" in out
+        assert "split_mode_exit" in out
+        assert "save_vgic" in out
+        assert "hv.traps" in out
+
+    def test_trace_writes_valid_perfetto_json(self, tmp_path, capsys):
+        import json
+        import sys
+
+        path = tmp_path / "trace.json"
+        assert main(["trace", "vm-switch", "--platform", "xen-arm", "-o", str(path)]) == 0
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert events
+        for event in events:
+            for key in ("ph", "ts", "dur", "pid", "tid"):
+                assert key in event
+        assert any(event["ph"] == "X" for event in events)
+        # The CI schema smoke agrees.
+        sys.path.insert(0, "tools")
+        try:
+            import validate_trace
+        finally:
+            sys.path.pop(0)
+        assert validate_trace.validate(str(path)) == []
+
+
+class TestEmitJson:
+    def test_table3_emit_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "table3.json"
+        assert main(["table3", "--emit-json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        vgic = next(r for r in data["rows"] if r["register_state"] == "VGIC Regs")
+        assert vgic["save_cycles"] == 3250
+        assert data["total_cycles"] == sum(
+            r["save_cycles"] + r["restore_cycles"] for r in data["rows"]
+        ) + data["other_cycles"]
+        # The rendered table still went to stdout.
+        assert "VGIC Regs" in capsys.readouterr().out
+
+    def test_table2_emit_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "table2.json"
+        assert main(["table2", "--emit-json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert set(data) == {"kvm-arm", "kvm-x86", "xen-arm", "xen-x86"}
+        assert data["kvm-arm"]["Hypercall"] > 0
+        capsys.readouterr()

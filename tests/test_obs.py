@@ -1,0 +1,308 @@
+"""Tests for the structured observability layer (repro.obs)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.obs import (
+    CounterBank,
+    CycleHistogram,
+    MetricsRegistry,
+    Observability,
+    SpanRecorder,
+)
+from repro.obs.capture import ALL_TARGETS, capture
+from repro.obs.export import (
+    chrome_trace_document,
+    chrome_trace_events,
+    render_metrics,
+    render_span_tree,
+)
+from repro.sim import Engine, Timeout
+
+
+def make_recorder(enabled=True):
+    clock = {"now": 0}
+    recorder = SpanRecorder(lambda: clock["now"], enabled=enabled)
+    return recorder, clock
+
+
+class TestSpanRecorder:
+    def test_begin_end_records_interval(self):
+        recorder, clock = make_recorder()
+        span = recorder.begin("op", "cat", pcpu=2)
+        clock["now"] = 100
+        recorder.end(span)
+        assert span.closed
+        assert span.start == 0 and span.end == 100
+        assert span.duration == 100
+        assert recorder.roots == [span]
+
+    def test_nesting_attributes_parent_and_self_cycles(self):
+        recorder, clock = make_recorder()
+        outer = recorder.begin("outer", pcpu=0)
+        clock["now"] = 10
+        inner = recorder.begin("inner", pcpu=0)
+        clock["now"] = 40
+        recorder.end(inner)
+        clock["now"] = 50
+        recorder.end(outer)
+        assert inner.parent is outer
+        assert outer.children == [inner]
+        assert outer.duration == 50
+        assert inner.duration == 30
+        assert outer.self_cycles == 20
+        assert [s.name for s in outer.walk()] == ["outer", "inner"]
+
+    def test_mis_nested_end_raises(self):
+        recorder, _clock = make_recorder()
+        outer = recorder.begin("outer", pcpu=0)
+        recorder.begin("inner", pcpu=0)
+        with pytest.raises(SimulationError):
+            recorder.end(outer)
+
+    def test_end_without_begin_raises(self):
+        recorder, _clock = make_recorder()
+        span = recorder.begin("op")
+        recorder.end(span)
+        with pytest.raises(SimulationError):
+            recorder.end(span)
+
+    def test_per_pcpu_stacks_are_independent(self):
+        # Spans on different pcpus may close in any relative order: each
+        # physical CPU is its own track with its own call stack.
+        recorder, clock = make_recorder()
+        a = recorder.begin("on0", pcpu=0)
+        b = recorder.begin("on1", pcpu=1)
+        clock["now"] = 5
+        recorder.end(a)
+        clock["now"] = 9
+        recorder.end(b)
+        assert sorted(root.name for root in recorder.roots) == ["on0", "on1"]
+        assert a.children == [] and b.children == []
+
+    def test_step_is_closed_leaf_covering_cost_interval(self):
+        recorder, clock = make_recorder()
+        clock["now"] = 7
+        leaf = recorder.step("save_gp", 152, "save", pcpu=4)
+        assert leaf.start == 7 and leaf.end == 159
+        assert leaf.is_leaf
+
+    def test_disabled_recorder_is_inert(self):
+        recorder, _clock = make_recorder(enabled=False)
+        assert recorder.begin("op") is None
+        assert recorder.end(None) is None
+        assert recorder.step("s", 10) is None
+        assert recorder.instant("i") is None
+        assert recorder.roots == []
+
+    def test_leaf_totals_aggregates_and_filters(self):
+        recorder, clock = make_recorder()
+        root = recorder.begin("root", pcpu=0)
+        recorder.step("save_gp", 100, "save", pcpu=0)
+        clock["now"] = 100
+        recorder.step("save_gp", 50, "save", pcpu=0)
+        clock["now"] = 150
+        recorder.step("eret", 60, "trap", pcpu=0)
+        clock["now"] = 210
+        recorder.end(root)
+        assert recorder.leaf_totals() == {"save_gp": 150, "eret": 60}
+        assert recorder.leaf_totals(category="save") == {"save_gp": 150}
+
+    def test_on_close_hook_sees_every_closed_span(self):
+        recorder, clock = make_recorder()
+        closed = []
+        recorder.on_close = closed.append
+        span = recorder.begin("a")
+        recorder.step("b", 10)
+        clock["now"] = 10
+        recorder.end(span)
+        assert [s.name for s in closed] == ["b", "a"]
+
+    def test_span_contextmanager(self):
+        recorder, clock = make_recorder()
+        with recorder.span("cm", pcpu=1) as span:
+            clock["now"] = 25
+        assert span.closed and span.duration == 25
+
+    def test_clear_drops_everything(self):
+        recorder, _clock = make_recorder()
+        recorder.begin("open")
+        recorder.step("leaf", 5)
+        recorder.clear()
+        assert recorder.roots == [] and recorder.open_spans == []
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("traps").inc()
+        registry.counter("traps").inc(4)
+        registry.gauge("depth").set(3)
+        snap = registry.snapshot()
+        assert snap["traps"] == {"kind": "counter", "value": 5}
+        assert snap["depth"] == {"kind": "gauge", "value": 3}
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+
+    def test_histogram_power_of_two_buckets(self):
+        histogram = CycleHistogram("h")
+        for value in (0, 1, 2, 3, 4, 5, 8, 9):
+            histogram.observe(value)
+        # bucket b counts 2**(b-1) < v <= 2**b (b == 0 also counts zeros)
+        assert histogram.buckets == {0: 2, 1: 1, 2: 2, 3: 2, 4: 1}
+        assert histogram.count == 8
+        assert histogram.min == 0 and histogram.max == 9
+        assert histogram.mean == pytest.approx(32 / 8)
+
+    def test_counter_bank_preserves_dict_interface(self):
+        registry = MetricsRegistry()
+        bank = registry.bank("hv", ("traps", "vm_switches"))
+        bank["traps"] += 1
+        bank["traps"] += 1
+        bank["vm_switches"] = 7
+        assert bank["traps"] == 2
+        assert bank.as_dict() == {"traps": 2, "vm_switches": 7}
+        assert "traps" in bank and len(bank) == 2
+        # The same numbers are visible through the shared registry.
+        assert registry.counter("hv.traps").value == 2
+        assert registry.counter("hv.vm_switches").value == 7
+        assert isinstance(bank, CounterBank)
+
+
+class TestObservability:
+    def test_disabled_by_default_and_engine_unhooked(self):
+        engine = Engine()
+        obs = Observability(engine)
+        assert not obs.enabled
+        assert engine.observer is None
+
+    def test_enable_disable_round_trip(self):
+        engine = Engine()
+        obs = Observability(engine)
+        obs.enable(trace_resume=True)
+        assert obs.enabled and engine.observer is obs
+        obs.disable()
+        assert not obs.enabled and engine.observer is None
+
+    def test_trace_resume_marks_process_resumes(self):
+        engine = Engine()
+        obs = Observability(engine)
+        obs.enable(trace_resume=True)
+
+        def proc():
+            yield Timeout(5)
+
+        engine.spawn(proc(), name="worker")
+        engine.run()
+        names = [span.name for span in obs.spans.iter_spans()]
+        assert names.count("resume:worker") == 2  # spawn + timeout wake
+
+    def test_span_histograms_feed_per_category(self):
+        engine = Engine()
+        obs = Observability(engine)
+        obs.enable()
+        obs.spans.step("save_gp", 100, "save")
+        obs.spans.step("eret", 60, "trap")
+        snap = obs.metrics.snapshot()
+        assert snap["span_cycles.save"]["total"] == 100
+        assert snap["span_cycles.trap"]["total"] == 60
+
+
+class TestExport:
+    def _populated(self):
+        recorder, clock = make_recorder()
+        root = recorder.begin("hypercall", "operation", pcpu=4)
+        recorder.step("save_gp", 100, "save", pcpu=4)
+        clock["now"] = 100
+        recorder.end(root)
+        engine_mark = recorder.instant("resume:x", "engine")
+        assert engine_mark.pcpu is None
+        metrics = MetricsRegistry()
+        metrics.counter("hv.traps").inc(3)
+        metrics.histogram("span_cycles.save").observe(100)
+        return recorder, metrics
+
+    def test_every_event_carries_required_keys(self):
+        recorder, metrics = self._populated()
+        events = chrome_trace_events(recorder, metrics, "m400")
+        assert events
+        for event in events:
+            for key in ("ph", "ts", "dur", "pid", "tid"):
+                assert key in event, (event, key)
+
+    def test_tracks_and_phases(self):
+        recorder, metrics = self._populated()
+        events = chrome_trace_events(recorder, metrics, "m400")
+        thread_names = {
+            event["tid"]: event["args"]["name"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert thread_names == {0: "engine", 5: "pcpu4"}
+        spans = [event for event in events if event["ph"] == "X"]
+        assert {span["name"] for span in spans} == {"hypercall", "save_gp", "resume:x"}
+        counters = [event for event in events if event["ph"] == "C"]
+        # Histograms are not counter tracks; only counters/gauges export as C.
+        assert [c["name"] for c in counters] == ["hv.traps"]
+        assert counters[0]["args"]["value"] == 3
+
+    def test_document_shape(self):
+        recorder, metrics = self._populated()
+        document = chrome_trace_document(recorder, metrics, "m400", extra={"k": "v"})
+        assert document["otherData"]["time_unit"] == "cycles"
+        assert document["otherData"]["machine"] == "m400"
+        assert document["otherData"]["k"] == "v"
+        assert "hv.traps" in document["otherData"]["metrics"]
+
+    def test_render_span_tree_and_metrics(self):
+        recorder, metrics = self._populated()
+        tree = render_span_tree(recorder)
+        assert "hypercall" in tree and "save_gp" in tree and "pcpu4" in tree
+        text = render_metrics(metrics)
+        assert "hv.traps" in text and "span_cycles.save" in text
+
+
+class TestCapture:
+    def test_table3_reconciles_with_breakdown(self):
+        cap = capture("table3")
+        reconciliation = cap.reconciliation()
+        assert reconciliation["root_span_cycles"] == reconciliation["total_cycles"]
+        for row in reconciliation["rows"]:
+            assert row["save_span_cycles"] == row["save_cycles"], row
+            assert row["restore_span_cycles"] == row["restore_cycles"], row
+        # The machine is left with observability off again.
+        assert not cap.obs.enabled
+        assert not cap.obs.spans.open_spans
+
+    def test_table3_root_is_the_hypercall_operation(self):
+        cap = capture("table3")
+        roots = cap.obs.spans.roots
+        assert [root.name for root in roots] == ["hypercall"]
+        assert roots[0].duration == cap.cycles
+        child_names = [child.name for child in roots[0].children]
+        assert child_names[0] == "split_mode_exit"
+        assert child_names[-1] == "split_mode_enter"
+
+    @pytest.mark.parametrize("target", [t for t in ALL_TARGETS if t != "table3"])
+    def test_every_microbench_target_captures_cleanly(self, target):
+        cap = capture(target, key="kvm-arm")
+        assert cap.cycles > 0
+        assert not cap.obs.spans.open_spans, "unclosed spans after %s" % target
+        assert any(span.pcpu is not None for span in cap.obs.spans.iter_spans())
+
+    def test_xen_capture_counts_event_channel_sends(self):
+        cap = capture("io-out", key="xen-arm")
+        snap = cap.obs.metrics.snapshot()
+        assert snap["xen.evtchn_sends"]["value"] >= 1
+        assert snap["hv.traps"]["value"] >= 1
+
+    def test_kvm_capture_counts_vhost_kicks_and_ipis(self):
+        cap = capture("io-out", key="kvm-arm")
+        snap = cap.obs.metrics.snapshot()
+        assert snap["kvm.vhost_kicks"]["value"] >= 1
+        cap_in = capture("io-in", key="kvm-arm")
+        assert cap_in.obs.metrics.snapshot()["hw.ipis_sent"]["value"] >= 1

@@ -249,3 +249,138 @@ def test_zero_timeout_lets_same_time_events_interleave():
     engine.run()
     assert order == ["a1", "b1", "a2", "b2"]
     assert engine.now == 0
+
+
+def test_schedule_float_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(1.5, lambda: None)
+    # Even a float that happens to be integral breaks the int-cycle contract.
+    with pytest.raises(SimulationError):
+        engine.schedule(10.0, lambda: None)
+
+
+def test_run_until_fired_limit_leaves_queue_intact():
+    engine = Engine()
+    event = engine.event("late")
+    engine.schedule(1000, lambda: event.fire("finally"))
+    with pytest.raises(SimulationError):
+        engine.run_until_fired(event, limit=100)
+    # The over-limit entry was peeked, not popped: the caller can recover.
+    assert engine.run_until_fired(event) == "finally"
+    assert engine.now == 1000
+
+
+def test_run_until_fired_rejects_backwards_time():
+    import heapq
+
+    engine = Engine()
+    event = engine.event()
+    engine.schedule(10, lambda: event.fire())
+    engine.run()
+    # White box: corrupt the queue with an entry in the past.
+    heapq.heappush(engine._queue, (engine.now - 5, 10**9, lambda: None))
+    event.reset()
+    with pytest.raises(SimulationError):
+        engine.run_until_fired(event)
+
+
+def test_event_reset_with_pending_callbacks_raises():
+    engine = Engine()
+    event = engine.event("armed")
+    event.on_fire(lambda value: None)
+    with pytest.raises(SimulationError):
+        event.reset()
+
+
+def test_event_reset_after_fire_delivers_callbacks_then_allows_reuse():
+    engine = Engine()
+    event = engine.event()
+    seen = []
+    event.on_fire(seen.append)
+    event.fire("first")
+    event.reset()  # fire() consumed the callback list: reset is legal
+    event.fire("second")
+    assert seen == ["first"]
+
+
+def test_anyof_later_index_prefired_among_three():
+    engine = Engine()
+    events = [engine.event(str(i)) for i in range(3)]
+    events[2].fire("pre")
+    got = []
+
+    def waiter():
+        got.append((yield AnyOf(events)))
+
+    engine.spawn(waiter())
+    engine.schedule(5, lambda: events[0].fire("late"))
+    engine.run()
+    assert got == [(2, "pre")]
+
+
+def test_anyof_all_prefired_returns_lowest_index():
+    engine = Engine()
+    events = [engine.event(str(i)) for i in range(3)]
+    for index, event in enumerate(events):
+        event.fire("v%d" % index)
+    got = []
+
+    def waiter():
+        got.append((yield AnyOf(events)))
+
+    engine.spawn(waiter())
+    engine.run()
+    assert got == [(0, "v0")]
+
+
+def test_allof_with_prefired_subset_preserves_event_order():
+    engine = Engine()
+    events = [engine.event(str(i)) for i in range(3)]
+    events[0].fire("a")
+    events[2].fire("c")
+    got = []
+
+    def waiter():
+        values = yield AllOf(events)
+        got.append((engine.now, values))
+
+    engine.spawn(waiter())
+    engine.schedule(40, lambda: events[1].fire("b"))
+    engine.run()
+    # Values come back in event order, not firing order.
+    assert got == [(40, ["a", "b", "c"])]
+
+
+def test_allof_all_prefired_resumes_immediately():
+    engine = Engine()
+    events = [engine.event(str(i)) for i in range(2)]
+    events[0].fire(1)
+    events[1].fire(2)
+    got = []
+
+    def waiter():
+        got.append((engine.now, (yield AllOf(events))))
+
+    engine.spawn(waiter())
+    engine.run()
+    assert got == [(0, [1, 2])]
+
+
+def test_join_process_that_finished_long_ago():
+    engine = Engine()
+
+    def child():
+        yield Timeout(2)
+        return "stale ok"
+
+    child_proc = engine.spawn(child())
+    engine.run()
+    got = []
+
+    def parent():
+        got.append((yield child_proc))
+
+    engine.spawn(parent())
+    engine.run()
+    assert got == ["stale ok"]

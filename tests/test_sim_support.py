@@ -149,3 +149,47 @@ class TestTrace:
         tracer = Tracer(enabled=True)
         tracer.record("orphan", 5)
         assert tracer.traces == []
+
+
+class TestTracerNesting:
+    def test_nested_traces_record_into_innermost(self):
+        tracer = Tracer(enabled=True)
+        tracer.begin("outer")
+        tracer.record("before", 10)
+        tracer.begin("inner")
+        tracer.record("within", 20)
+        inner = tracer.end()
+        tracer.record("after", 30)
+        outer = tracer.end()
+        assert inner.name == "inner"
+        assert inner.by_label() == {"within": 20}
+        assert outer.name == "outer"
+        assert outer.by_label() == {"before": 10, "after": 30}
+
+    def test_depth_tracks_open_traces(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.depth == 0
+        tracer.begin("a")
+        tracer.begin("b")
+        assert tracer.depth == 2
+        tracer.end()
+        assert tracer.depth == 1
+        tracer.end()
+        assert tracer.depth == 0
+
+    def test_end_without_begin_raises(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(SimulationError):
+            tracer.end()
+
+    def test_nested_begin_no_longer_discards_outer(self):
+        # Regression: begin() used to overwrite the current trace, silently
+        # dropping the outer trace's identity and steps recorded so far.
+        tracer = Tracer(enabled=True)
+        tracer.begin("outer")
+        tracer.record("outer_step", 5)
+        tracer.begin("inner")
+        tracer.end()
+        outer = tracer.end()
+        assert outer.name == "outer"
+        assert "outer_step" in outer.by_label()

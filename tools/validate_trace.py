@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""CI schema smoke for exported Chrome trace-event (Perfetto) JSON.
+
+Checks the contract :mod:`repro.obs.export` promises: a JSON-object
+document with a non-empty ``traceEvents`` list where every event carries
+``ph``, ``ts``, ``dur``, ``pid`` and ``tid``, at least one complete
+("X") span event exists, and all timestamps/durations are non-negative
+integers.
+
+Usage:
+    python tools/validate_trace.py trace.json [more.json ...]
+
+Exits 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+REQUIRED_KEYS = ("ph", "ts", "dur", "pid", "tid")
+KNOWN_PHASES = {"X", "M", "C", "I", "B", "E"}
+
+
+def validate(path):
+    """Return a list of problem strings (empty = valid)."""
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return ["cannot load %s: %s" % (path, exc)]
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["%s: traceEvents missing or empty" % path]
+    span_count = 0
+    for index, event in enumerate(events):
+        for key in REQUIRED_KEYS:
+            if key not in event:
+                problems.append("%s: event %d lacks %r" % (path, index, key))
+        phase = event.get("ph")
+        if phase not in KNOWN_PHASES:
+            problems.append("%s: event %d has unknown ph %r" % (path, index, phase))
+        if phase == "X":
+            span_count += 1
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, int) or value < 0:
+                problems.append(
+                    "%s: event %d %s=%r is not a non-negative int" % (path, index, key, value)
+                )
+    if span_count == 0:
+        problems.append("%s: no complete ('X') span events" % path)
+    return problems
+
+
+def main(argv):
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv:
+        problems = validate(path)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print("FAIL %s" % problem)
+        else:
+            print("OK   %s" % path)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
