@@ -12,6 +12,7 @@ Usage:
     python -m repro micro --platform xen-arm   # one platform's column
     python -m repro lint               # model-integrity static analysis
     python -m repro trace table3 -o trace.json   # Perfetto span trace
+    python -m repro bench --jobs 4     # sharded suite + BENCH_suite.json
 
 Table commands accept ``--emit-json PATH`` to write the underlying
 results as JSON alongside the rendered table.
@@ -76,6 +77,30 @@ def _cmd_trace(args):
         print("\nwrote %s" % args.output)
 
 
+def _cmd_bench(args):
+    from repro.runner import bench as runner_bench
+
+    outcome = runner_bench.run_bench(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        transactions=args.transactions,
+    )
+    # The report goes to stdout (byte-identical to `repro all`); the
+    # bench summary goes to stderr so redirected output stays clean.
+    print(outcome.report)
+    runner_bench.write_document(args.output, outcome.document)
+    print(outcome.summary, file=sys.stderr)
+    print("wrote %s" % args.output, file=sys.stderr)
+
+
+def _positive_int(text):
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1, got %d" % value)
+    return value
+
+
 #: table commands with a JSON-serializable ``suite.*_data`` twin
 DATA_FUNCS = {
     "table2": lambda args: suite.table2_data(),
@@ -108,6 +133,7 @@ COMMANDS = {
     "micro": _cmd_micro,
     "lint": _cmd_lint,
     "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
 
 
@@ -158,6 +184,49 @@ def build_parser():
         "--resume-spans",
         action="store_true",
         help="also mark every simulation-process resume on the engine track",
+    )
+    from repro.runner import bench as runner_bench
+    from repro.runner.cells import DEFAULT_RR_TRANSACTIONS
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the whole suite through the parallel sharded runner; "
+        "prints the full report and writes a BENCH_suite.json artifact "
+        "with per-cell wall time, simulated cycles, and cache hit/miss "
+        "counts",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes to fan cells out over (default 1: in-process)",
+    )
+    bench.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the content-addressed result cache",
+    )
+    bench.add_argument(
+        "--cache-dir",
+        default=runner_bench.DEFAULT_CACHE_DIR,
+        metavar="PATH",
+        help="result cache directory (default %s)" % runner_bench.DEFAULT_CACHE_DIR,
+    )
+    bench.add_argument(
+        "--transactions",
+        type=_positive_int,
+        default=DEFAULT_RR_TRANSACTIONS,
+        help="TCP_RR transactions per Table V cell (default %d)"
+        % DEFAULT_RR_TRANSACTIONS,
+    )
+    bench.add_argument(
+        "-o",
+        "--output",
+        default=runner_bench.DEFAULT_DOCUMENT_PATH,
+        metavar="PATH",
+        help="where to write the bench document (default %s)"
+        % runner_bench.DEFAULT_DOCUMENT_PATH,
     )
     micro = sub.add_parser("micro", help="one platform's microbenchmark column")
     micro.add_argument(

@@ -123,6 +123,45 @@ def render_figure4(grid, keys=None):
     )
 
 
+def render_ablation(results):
+    """results: {(key, workload): AblationPoint} -> Section V table."""
+    headers = ["Workload", "Platform", "Single-VCPU IRQs", "Distributed", "Drop (pts)"]
+    rows = [
+        [
+            point.workload,
+            point.key,
+            "%.1f%%" % point.single_overhead_pct,
+            "%.1f%%" % point.distributed_overhead_pct,
+            "%.1f" % point.improvement_pct,
+        ]
+        for point in results.values()
+    ]
+    return render_table(
+        headers, rows, title="Section V ablation: virtual interrupt distribution"
+    )
+
+
+def render_vhe(comparison):
+    """comparison: VheComparison -> the two Section VI tables."""
+    headers = ["Microbenchmark", "split-mode", "VHE", "speedup"]
+    rows = [
+        [name, "%d" % split, "%d" % vhe, "%.1fx" % speedup]
+        for name, (split, vhe, speedup) in comparison.microbench.items()
+    ]
+    micro = render_table(
+        headers, rows, title="Section VI: KVM ARM with VHE (microbenchmarks, cycles)"
+    )
+    headers = ["Workload", "split-mode", "VHE", "improvement (pts)"]
+    rows = [
+        [name, "%.2f" % split, "%.2f" % vhe, "%.1f" % pts]
+        for name, (split, vhe, pts) in comparison.applications.items()
+    ]
+    apps = render_table(
+        headers, rows, title="Section VI: application overhead, split-mode vs VHE"
+    )
+    return micro + "\n\n" + apps
+
+
 #: Figures 1-3 and 5 rendered as architecture descriptions.
 ARCHITECTURE_FIGURES = {
     "figure1": """\

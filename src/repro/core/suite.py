@@ -11,24 +11,34 @@
 Each ``*_report`` renderer has a ``*_data`` twin returning the same
 results as JSON-serializable structures (``python -m repro table2
 --emit-json out.json`` on the command line).
+
+Every entry point routes through :mod:`repro.runner`: the suite is
+sharded into independent cells, deduplicated (Table II and the VHE
+comparison share their KVM ARM microbenchmark cell), optionally fanned
+out over worker processes and served from the content-addressed result
+cache, then merged back deterministically — the output stays
+byte-identical to the pre-runner serial path (the differential test
+harness holds it to that).  ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``
+configure the default plan; ``full_report`` also takes ``jobs`` /
+``cache_dir`` directly, and ``python -m repro bench`` exposes the whole
+grid with per-cell timing.
 """
 
 import dataclasses
 
+from repro import runner
 from repro.core import reporting
-from repro.core.breakdown import hypercall_breakdown
-from repro.core.irqbalance import run_irq_distribution_ablation
-from repro.core.microbench import MicrobenchmarkSuite
-from repro.core.netanalysis import run_table5
-from repro.core.appbench import run_figure4
-from repro.core.testbed import build_testbed
-from repro.core.vhe_projection import run_vhe_comparison
 from repro.paperdata import PLATFORM_ORDER
+from repro.runner import cells, merge
+
+
+def _run(specs):
+    return runner.run_plan(specs)
 
 
 def run_table2(keys=None):
     keys = keys or PLATFORM_ORDER
-    return {key: MicrobenchmarkSuite(build_testbed(key)).run_all() for key in keys}
+    return merge.table2_results(_run(cells.table2_cells(keys)), keys)
 
 
 def table2_report():
@@ -39,12 +49,16 @@ def table2_data(keys=None):
     return {key: dict(results) for key, results in run_table2(keys).items()}
 
 
+def _table3_breakdown():
+    return merge.breakdown_result(_run(cells.table3_cells()))
+
+
 def table3_report():
-    return reporting.render_table3(hypercall_breakdown())
+    return reporting.render_table3(_table3_breakdown())
 
 
 def table3_data():
-    breakdown = hypercall_breakdown()
+    breakdown = _table3_breakdown()
     return {
         "rows": [dataclasses.asdict(row) for row in breakdown.rows],
         "save_total": breakdown.save_total,
@@ -54,46 +68,43 @@ def table3_data():
     }
 
 
-def table5_report(transactions=40):
+def run_table5(transactions=cells.DEFAULT_RR_TRANSACTIONS):
+    return merge.table5_results(_run(cells.table5_cells(transactions)), transactions)
+
+
+def table5_report(transactions=cells.DEFAULT_RR_TRANSACTIONS):
     return reporting.render_table5(run_table5(transactions))
 
 
-def table5_data(transactions=40):
+def table5_data(transactions=cells.DEFAULT_RR_TRANSACTIONS):
     return {
-        config: result.as_dict()
-        for config, result in run_table5(transactions).items()
+        config: result.as_dict() for config, result in run_table5(transactions).items()
     }
+
+
+def _figure4_grid(keys):
+    return merge.figure4_grid(_run(cells.figure4_cells(keys)), keys)
 
 
 def figure4_report(keys=None):
     keys = keys or PLATFORM_ORDER
-    return reporting.render_figure4(run_figure4(keys), keys)
+    return reporting.render_figure4(_figure4_grid(keys), keys)
 
 
 def figure4_data(keys=None):
     keys = keys or PLATFORM_ORDER
     return {
         workload: {key: dataclasses.asdict(result) for key, result in row.items()}
-        for workload, row in run_figure4(keys).items()
+        for workload, row in _figure4_grid(keys).items()
     }
 
 
+def _ablation_grid():
+    return merge.ablation_grid(_run(cells.ablation_cells()))
+
+
 def ablation_report():
-    results = run_irq_distribution_ablation()
-    headers = ["Workload", "Platform", "Single-VCPU IRQs", "Distributed", "Drop (pts)"]
-    rows = [
-        [
-            point.workload,
-            point.key,
-            "%.1f%%" % point.single_overhead_pct,
-            "%.1f%%" % point.distributed_overhead_pct,
-            "%.1f" % point.improvement_pct,
-        ]
-        for point in results.values()
-    ]
-    return reporting.render_table(
-        headers, rows, title="Section V ablation: virtual interrupt distribution"
-    )
+    return reporting.render_ablation(_ablation_grid())
 
 
 def ablation_data():
@@ -101,33 +112,20 @@ def ablation_data():
         "%s/%s" % (key, workload): dict(
             dataclasses.asdict(point), improvement_pct=point.improvement_pct
         )
-        for (key, workload), point in run_irq_distribution_ablation().items()
+        for (key, workload), point in _ablation_grid().items()
     }
 
 
+def _vhe_comparison():
+    return merge.vhe_comparison(_run(cells.vhe_cells()))
+
+
 def vhe_report():
-    comparison = run_vhe_comparison()
-    headers = ["Microbenchmark", "split-mode", "VHE", "speedup"]
-    rows = [
-        [name, "%d" % split, "%d" % vhe, "%.1fx" % speedup]
-        for name, (split, vhe, speedup) in comparison.microbench.items()
-    ]
-    micro = reporting.render_table(
-        headers, rows, title="Section VI: KVM ARM with VHE (microbenchmarks, cycles)"
-    )
-    headers = ["Workload", "split-mode", "VHE", "improvement (pts)"]
-    rows = [
-        [name, "%.2f" % split, "%.2f" % vhe, "%.1f" % pts]
-        for name, (split, vhe, pts) in comparison.applications.items()
-    ]
-    apps = reporting.render_table(
-        headers, rows, title="Section VI: application overhead, split-mode vs VHE"
-    )
-    return micro + "\n\n" + apps
+    return reporting.render_vhe(_vhe_comparison())
 
 
 def vhe_data():
-    comparison = run_vhe_comparison()
+    comparison = _vhe_comparison()
     return {
         "microbench": {
             name: {"split_cycles": split, "vhe_cycles": vhe, "speedup": speedup}
@@ -140,14 +138,16 @@ def vhe_data():
     }
 
 
-def full_report():
-    """Everything, in paper order."""
-    sections = [
-        table2_report(),
-        table3_report(),
-        table5_report(),
-        figure4_report(),
-        ablation_report(),
-        vhe_report(),
-    ]
-    return "\n\n".join(sections)
+def oversubscription_data(keys=None, timeslices_us=cells.OVERSUB_TIMESLICES_US):
+    """The consolidation sweep: {key: [per-timeslice point dicts]}."""
+    keys = keys or PLATFORM_ORDER
+    results = _run(cells.oversubscription_cells(keys, timeslices_us))
+    return merge.oversubscription_grid(results, keys, timeslices_us)
+
+
+def full_report(jobs=None, cache_dir=None):
+    """Everything, in paper order — one deduplicated cell-grid run."""
+    results = runner.run_plan(
+        cells.full_report_cells(), jobs=jobs, cache_dir=cache_dir
+    )
+    return merge.full_report_text(results)

@@ -1,0 +1,74 @@
+"""Parallel sharded suite execution with content-addressed caching.
+
+The runner decomposes the full evaluation suite into independent
+*cells* (:mod:`repro.runner.cells`), executes them — in-process, across
+spawned worker processes, or straight out of an on-disk cache
+(:mod:`repro.runner.pool`, :mod:`repro.runner.cache`) — and
+deterministically merges the payloads back into the exact shapes and
+bytes the serial suite always produced (:mod:`repro.runner.merge`).
+
+``repro.core.suite`` routes every ``*_report``/``*_data`` entry point
+through here, so callers get sharding, deduplication (Table II and the
+VHE comparison share their KVM ARM cells) and caching for free.  The
+default plan is serial and uncached; it can be widened per call or via
+environment:
+
+* ``REPRO_JOBS=N`` — fan cells out over N worker processes;
+* ``REPRO_CACHE_DIR=PATH`` — reuse cached cell results keyed by the
+  model fingerprint, live cost tables, and cell parameters.
+
+``python -m repro bench`` (:mod:`repro.runner.bench`) runs the full
+grid plus the oversubscription sweep and emits ``BENCH_suite.json``.
+"""
+
+import dataclasses
+import os
+
+from repro.runner import bench, cache, cells, merge, pool
+from repro.runner.cache import ResultCache
+from repro.runner.cells import CellSpec
+from repro.runner.pool import CellResult, execute_cell, run_cells
+
+
+@dataclasses.dataclass
+class Plan:
+    """How to execute a cell list: worker count and cache location."""
+
+    jobs: int = 1
+    cache_dir: str = None
+
+
+def default_plan():
+    """The environment-configured plan (serial, uncached by default)."""
+    return Plan(
+        jobs=int(os.environ.get("REPRO_JOBS", "1")),
+        cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+    )
+
+
+def run_plan(specs, jobs=None, cache_dir=None):
+    """Run cells under the given (or environment-default) plan."""
+    plan = default_plan()
+    if jobs is None:
+        jobs = plan.jobs
+    if cache_dir is None:
+        cache_dir = plan.cache_dir
+    result_cache = ResultCache(cache_dir) if cache_dir else None
+    return run_cells(specs, jobs=jobs, cache=result_cache)
+
+
+__all__ = [
+    "CellResult",
+    "CellSpec",
+    "Plan",
+    "ResultCache",
+    "bench",
+    "cache",
+    "cells",
+    "default_plan",
+    "execute_cell",
+    "merge",
+    "pool",
+    "run_cells",
+    "run_plan",
+]

@@ -1,0 +1,158 @@
+"""Content-addressed result cache for suite cells.
+
+A cell's cache key is the sha256 of a canonical JSON document binding
+together everything that can change its payload:
+
+* the **model fingerprint** — a hash over every ``repro`` source file
+  that participates in simulation (``analysis/`` is excluded: the
+  linter cannot change results).  Editing any model file moves every
+  key, so a stale hit is impossible after a code change;
+* the **live cost tables** — ``repro.hw.costs.arm_costs()`` /
+  ``x86_costs()`` serialized at key-derivation time, so a runtime
+  mutation (a calibration experiment monkeypatching a primitive cost)
+  also invalidates, even though no source file changed;
+* the **cell id and parameters** — kind plus the frozen parameter
+  pairs.
+
+Entries are one JSON file per key under ``<dir>/<key[:2]>/<key>.json``,
+written atomically (tempfile + rename) so concurrent workers and
+concurrent suite runs can share a directory.  A corrupt, truncated, or
+foreign entry is *always* treated as a miss, never an error — poisoning
+the cache can cost time, not correctness.
+"""
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pathlib
+
+import repro
+from repro.hw import costs as hw_costs
+
+#: bump when the entry layout changes; old entries become misses.
+CACHE_SCHEMA = "repro-runner-cache/1"
+
+_MODEL_FINGERPRINT = None
+
+
+def model_fingerprint():
+    """sha256 over every simulation-relevant source file (memoized)."""
+    global _MODEL_FINGERPRINT
+    if _MODEL_FINGERPRINT is None:
+        root = pathlib.Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            relative = path.relative_to(root).as_posix()
+            if relative.startswith("analysis/"):
+                continue
+            digest.update(relative.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        _MODEL_FINGERPRINT = digest.hexdigest()
+    return _MODEL_FINGERPRINT
+
+
+def _canonical(value):
+    """Recursively turn a value into deterministic JSON-able data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _canonical(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, enum.Enum):
+        return str(value)
+    return value
+
+
+def live_costs():
+    """The cost tables as the simulator would see them *right now*."""
+    return {
+        "arm": _canonical(hw_costs.arm_costs()),
+        "x86": _canonical(hw_costs.x86_costs()),
+    }
+
+
+def _digest(document):
+    return hashlib.sha256(
+        json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+
+
+class ResultCache:
+    """On-disk content-addressed store of cell payloads."""
+
+    def __init__(self, directory):
+        self.directory = pathlib.Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def base_fingerprint(self):
+        """The model+costs half of every key (compute once per run)."""
+        return _digest(
+            {
+                "schema": CACHE_SCHEMA,
+                "model": model_fingerprint(),
+                "costs": live_costs(),
+            }
+        )
+
+    def key_for(self, spec, base=None):
+        """The full content address of one cell."""
+        if base is None:
+            base = self.base_fingerprint()
+        return _digest(
+            {
+                "base": base,
+                "kind": spec.kind,
+                "params": [[name, value] for name, value in spec.params],
+            }
+        )
+
+    def _path(self, key):
+        return self.directory / key[:2] / (key + ".json")
+
+    def load(self, key):
+        """The stored entry dict, or None (corruption counts as a miss)."""
+        try:
+            entry = json.loads(self._path(key).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != CACHE_SCHEMA
+            or entry.get("key") != key
+            or "payload" not in entry
+            or not isinstance(entry.get("stats"), dict)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, key, result):
+        """Persist one executed cell (atomic: tempfile + rename)."""
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "cell": result.spec.id,
+            "kind": result.spec.kind,
+            "params": result.spec.params_dict(),
+            "payload": result.payload,
+            "stats": {
+                "wall_ms": result.wall_ms,
+                "simulated_cycles": result.simulated_cycles,
+                "engines": result.engines,
+            },
+        }
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        scratch = path.with_name("%s.tmp.%d" % (path.name, os.getpid()))
+        # No sort_keys: payload dict order is meaningful (microbenchmark
+        # and workload row order) and must survive the round trip.
+        scratch.write_text(json.dumps(entry, indent=1) + "\n", encoding="utf-8")
+        os.replace(scratch, path)

@@ -1,0 +1,130 @@
+"""Cell execution: in-process, fanned out across workers, or from cache.
+
+The pool is deliberately dumb: cells are self-contained and
+deterministic (see :mod:`repro.runner.cells`), so workers need no shared
+state, no ordering, and no communication beyond (spec in, payload out).
+``run_cells`` always returns results keyed and ordered by the *request*
+order, never by completion order — the deterministic-merge guarantee the
+differential tests hold the runner to.
+
+Workers are spawned (not forked) so every cell simulates from a fresh
+interpreter with no inherited module state; a cell's payload therefore
+cannot depend on which process ran it (tests/test_runner_workers.py
+asserts exactly this, per cell).
+
+Per-cell accounting goes through a :class:`repro.obs.MetricsRegistry`:
+``runner.cell.engines`` and ``runner.cell.simulated_cycles`` count the
+discrete-event engines a cell built and the cycles they simulated (via
+``Engine.created_hook``), and ``runner.cell.wall_ms`` is host wall time
+— the one place in the tree where a wall clock is legitimate, because it
+measures the *runner*, never the model.
+"""
+
+import dataclasses
+import json
+import multiprocessing
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.runner import cells
+from repro.sim.engine import Engine
+
+
+@dataclasses.dataclass
+class CellResult:
+    """One cell's payload plus where it came from and what it cost."""
+
+    spec: cells.CellSpec
+    payload: object
+    wall_ms: float
+    simulated_cycles: int
+    engines: int
+    source: str  # "run" | "cache"
+
+
+def execute_cell(spec):
+    """Run one cell in this process, with engine/wall accounting."""
+    created = []
+    previous_hook = Engine.created_hook
+    Engine.created_hook = created.append
+    start = time.perf_counter()
+    try:
+        payload = cells.run_cell(spec)
+    finally:
+        Engine.created_hook = previous_hook
+    metrics = MetricsRegistry()
+    metrics.counter("runner.cell.engines").inc(len(created))
+    metrics.counter("runner.cell.simulated_cycles").inc(
+        sum(engine.now for engine in created)
+    )
+    metrics.gauge("runner.cell.wall_ms").set((time.perf_counter() - start) * 1000.0)
+    # Round-trip through JSON so a freshly simulated payload is
+    # structurally identical to one loaded from the cache.
+    return CellResult(
+        spec=spec,
+        payload=json.loads(json.dumps(payload)),
+        wall_ms=metrics.get("runner.cell.wall_ms").value,
+        simulated_cycles=metrics.get("runner.cell.simulated_cycles").value,
+        engines=metrics.get("runner.cell.engines").value,
+        source="run",
+    )
+
+
+def _from_cache(spec, entry):
+    stats = entry["stats"]
+    return CellResult(
+        spec=spec,
+        payload=entry["payload"],
+        wall_ms=0.0,  # a hit costs no simulation time
+        simulated_cycles=stats.get("simulated_cycles", 0),
+        engines=stats.get("engines", 0),
+        source="cache",
+    )
+
+
+def run_cells(specs, jobs=1, cache=None):
+    """Execute a cell list; returns ``OrderedDict`` of id -> CellResult.
+
+    ``jobs=1`` runs everything in-process (no subprocess overhead —
+    the default path ``suite.full_report()`` takes); ``jobs>1`` fans
+    cache misses out over spawned worker processes.  The result dict is
+    always in (deduplicated) request order regardless of which worker
+    finished first.
+    """
+    if jobs < 1:
+        raise ConfigurationError("jobs must be >= 1, got %r" % (jobs,))
+    ordered = cells.dedupe(specs)
+    results = {}
+    pending = []
+    keys = {}
+    if cache is not None:
+        base = cache.base_fingerprint()
+        for spec in ordered:
+            key = keys[spec.id] = cache.key_for(spec, base)
+            entry = cache.load(key)
+            if entry is None:
+                pending.append(spec)
+            else:
+                results[spec.id] = _from_cache(spec, entry)
+    else:
+        pending = list(ordered)
+
+    if pending:
+        if jobs > 1:
+            context = multiprocessing.get_context("spawn")
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)), mp_context=context
+            ) as pool:
+                for result in pool.map(execute_cell, pending):
+                    results[result.spec.id] = result
+        else:
+            for spec in pending:
+                results[spec.id] = execute_cell(spec)
+        if cache is not None:
+            for spec in pending:
+                cache.store(keys[spec.id], results[spec.id])
+
+    return OrderedDict((spec.id, results[spec.id]) for spec in ordered)

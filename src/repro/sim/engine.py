@@ -14,6 +14,12 @@ class Engine:
     making every simulation fully reproducible.
     """
 
+    #: optional class-wide construction hook, called with each new engine.
+    #: The suite runner (repro.runner) uses it to account the engines a
+    #: cell builds and the cycles they simulate; it must never schedule
+    #: events or otherwise feed back into the simulation.
+    created_hook = None
+
     def __init__(self):
         self._now = 0
         self._queue = []  # heap of (time, seq, callable)
@@ -22,6 +28,8 @@ class Engine:
         #: optional observability hook (see repro.obs): when set, its
         #: ``process_resumed(process)`` is called on every process resume.
         self.observer = None
+        if Engine.created_hook is not None:
+            Engine.created_hook(self)
 
     @property
     def now(self):

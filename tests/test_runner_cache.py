@@ -1,0 +1,154 @@
+"""Cache-key derivation and invalidation for the suite result cache.
+
+The content address must move whenever anything that can change a cell
+payload moves (live cost-table values, cell parameters, model source),
+and a poisoned or corrupt cache entry must degrade to a miss — never a
+crash, never a stale hit.
+"""
+
+import json
+
+import pytest
+
+from repro.hw import costs as hw_costs
+from repro.runner import ResultCache, cells, run_cells
+from repro.runner.cache import CACHE_SCHEMA
+
+
+MICRO = cells.micro("kvm-arm")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestKeyDerivation:
+    def test_key_is_stable(self, cache):
+        assert cache.key_for(MICRO) == cache.key_for(MICRO)
+
+    def test_cell_kind_and_params_differentiate(self, cache):
+        keys = {
+            cache.key_for(spec)
+            for spec in [
+                MICRO,
+                cells.micro("xen-arm"),
+                cells.breakdown(),
+                cells.tcprr("kvm"),
+                cells.tcprr("kvm", transactions=41),
+                cells.appcol("kvm-arm"),
+                cells.appcol("kvm-arm", irq_vcpus=4),
+                cells.ablation("kvm-arm", "Apache"),
+                cells.oversub("kvm-arm", 100.0),
+            ]
+        }
+        assert len(keys) == 9
+
+    def test_mutating_a_cost_value_changes_every_key(self, cache, monkeypatch):
+        before = cache.key_for(MICRO)
+        original = hw_costs.arm_costs
+
+        def mutated():
+            costs = original()
+            costs.trap_to_el2 += 1
+            return costs
+
+        monkeypatch.setattr(hw_costs, "arm_costs", mutated)
+        assert cache.key_for(MICRO) != before
+
+    def test_mutating_x86_costs_changes_keys_too(self, cache, monkeypatch):
+        before = cache.key_for(cells.micro("kvm-x86"))
+        original = hw_costs.x86_costs
+
+        def mutated():
+            costs = original()
+            costs.vmexit_hw += 1
+            return costs
+
+        monkeypatch.setattr(hw_costs, "x86_costs", mutated)
+        assert cache.key_for(cells.micro("kvm-x86")) != before
+
+
+class TestInvalidation:
+    def test_cost_mutation_forces_resimulation(self, cache, monkeypatch):
+        warm = run_cells([MICRO], cache=cache)
+        assert warm[MICRO.id].source == "run"
+        assert run_cells([MICRO], cache=cache)[MICRO.id].source == "cache"
+
+        original = hw_costs.arm_costs
+
+        def mutated():
+            costs = original()
+            costs.trap_to_el2 += 1
+            return costs
+
+        monkeypatch.setattr(hw_costs, "arm_costs", mutated)
+        # Note: only the *key* sees the mutation (the testbed binds the
+        # cost factory at import); the point is that the old entry can
+        # no longer satisfy the lookup.
+        resimulated = run_cells([MICRO], cache=cache)
+        assert resimulated[MICRO.id].source == "run"
+
+    def test_changed_cell_parameter_misses(self, cache):
+        run_cells([cells.tcprr("native", transactions=3)], cache=cache)
+        spec = cells.tcprr("native", transactions=4)
+        assert run_cells([spec], cache=cache)[spec.id].source == "run"
+
+
+class TestPoisonedEntries:
+    def _entry_path(self, cache):
+        key = cache.key_for(MICRO)
+        return key, cache.directory / key[:2] / (key + ".json")
+
+    def test_truncated_json_is_a_miss_not_a_crash(self, cache):
+        baseline = run_cells([MICRO], cache=cache)
+        key, path = self._entry_path(cache)
+        path.write_text('{"schema": "%s", "key": "%s", "payl' % (CACHE_SCHEMA, key))
+        poisoned_cache = ResultCache(cache.directory)
+        result = run_cells([MICRO], cache=poisoned_cache)
+        assert result[MICRO.id].source == "run"
+        assert result[MICRO.id].payload == baseline[MICRO.id].payload
+        assert poisoned_cache.misses == 1
+
+    def test_garbage_bytes_are_a_miss(self, cache):
+        run_cells([MICRO], cache=cache)
+        _key, path = self._entry_path(cache)
+        path.write_bytes(b"\x00\xffnot json at all")
+        assert run_cells([MICRO], cache=cache)[MICRO.id].source == "run"
+
+    def test_key_mismatch_inside_entry_is_a_miss(self, cache):
+        run_cells([MICRO], cache=cache)
+        key, path = self._entry_path(cache)
+        entry = json.loads(path.read_text())
+        entry["key"] = "0" * len(key)
+        path.write_text(json.dumps(entry))
+        assert run_cells([MICRO], cache=cache)[MICRO.id].source == "run"
+
+    def test_wrong_schema_tag_is_a_miss(self, cache):
+        run_cells([MICRO], cache=cache)
+        _key, path = self._entry_path(cache)
+        entry = json.loads(path.read_text())
+        entry["schema"] = "repro-runner-cache/0"
+        path.write_text(json.dumps(entry))
+        assert run_cells([MICRO], cache=cache)[MICRO.id].source == "run"
+
+    def test_missing_payload_is_a_miss(self, cache):
+        run_cells([MICRO], cache=cache)
+        _key, path = self._entry_path(cache)
+        entry = json.loads(path.read_text())
+        del entry["payload"]
+        path.write_text(json.dumps(entry))
+        assert run_cells([MICRO], cache=cache)[MICRO.id].source == "run"
+
+
+class TestEntryRoundTrip:
+    def test_hit_preserves_payload_and_sim_stats(self, cache):
+        cold = run_cells([MICRO], cache=cache)[MICRO.id]
+        warm = run_cells([MICRO], cache=cache)[MICRO.id]
+        assert warm.source == "cache"
+        assert warm.payload == cold.payload
+        assert warm.simulated_cycles == cold.simulated_cycles
+        assert warm.engines == cold.engines
+        assert warm.wall_ms == 0.0  # a hit simulates nothing
+        assert cold.simulated_cycles > 0
+        assert cold.engines > 0

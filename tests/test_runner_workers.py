@@ -1,0 +1,85 @@
+"""Property-style determinism across the worker boundary.
+
+A cell simulated in a spawned subprocess must return exactly the same
+payload (cycles, tables, floats and all) as the same cell simulated
+in-process — for *every* cell in the bench grid.  This is the property
+that makes the fan-out and the cache sound: if it ever breaks, some
+model picked up ambient per-process state (hash seed, import order,
+wall clock) and determinism is gone.
+"""
+
+import pytest
+
+from repro.runner import cells, execute_cell, run_cells
+from repro.sim.engine import Engine
+
+ALL_CELLS = cells.bench_cells()
+
+
+@pytest.fixture(scope="module")
+def in_process_results():
+    return run_cells(ALL_CELLS, jobs=1)
+
+
+@pytest.fixture(scope="module")
+def subprocess_results():
+    return run_cells(ALL_CELLS, jobs=2)
+
+
+@pytest.mark.parametrize("spec", ALL_CELLS, ids=[spec.id for spec in ALL_CELLS])
+def test_subprocess_payload_matches_in_process(
+    spec, in_process_results, subprocess_results
+):
+    assert subprocess_results[spec.id].payload == in_process_results[spec.id].payload
+
+
+@pytest.mark.parametrize("spec", ALL_CELLS, ids=[spec.id for spec in ALL_CELLS])
+def test_subprocess_sim_accounting_matches_in_process(
+    spec, in_process_results, subprocess_results
+):
+    # Simulated cycles and engine counts are simulation facts, not host
+    # facts — they must not depend on which process ran the cell.
+    assert (
+        subprocess_results[spec.id].simulated_cycles
+        == in_process_results[spec.id].simulated_cycles
+    )
+    assert subprocess_results[spec.id].engines == in_process_results[spec.id].engines
+
+
+def test_grid_covers_every_section_and_sweep():
+    kinds = {spec.kind for spec in ALL_CELLS}
+    assert kinds == {"micro", "breakdown", "tcprr", "appcol", "ablation", "oversub"}
+    oversub_points = [spec for spec in ALL_CELLS if spec.kind == "oversub"]
+    assert len(oversub_points) == len(cells.OVERSUB_TIMESLICES_US) * 4
+
+
+class TestEngineAccounting:
+    def test_execute_cell_counts_engines_and_cycles(self):
+        result = execute_cell(cells.micro("kvm-arm"))
+        assert result.engines > 0
+        assert result.simulated_cycles > 0
+        assert result.source == "run"
+
+    def test_created_hook_restored_after_execution(self):
+        assert Engine.created_hook is None
+        execute_cell(cells.breakdown())
+        assert Engine.created_hook is None
+
+    def test_created_hook_restored_after_failure(self):
+        from repro.errors import ConfigurationError
+
+        assert Engine.created_hook is None
+        with pytest.raises(ConfigurationError):
+            execute_cell(cells.CellSpec("no-such-kind"))
+        assert Engine.created_hook is None
+
+    def test_hook_sees_every_engine(self):
+        created = []
+        previous = Engine.created_hook
+        Engine.created_hook = created.append
+        try:
+            first = Engine()
+            second = Engine()
+        finally:
+            Engine.created_hook = previous
+        assert created == [first, second]
