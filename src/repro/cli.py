@@ -79,25 +79,79 @@ def _cmd_trace(args):
 
 def _cmd_bench(args):
     from repro.runner import bench as runner_bench
+    from repro.runner.resilience import CellFailure, RetryPolicy
 
-    outcome = runner_bench.run_bench(
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-        transactions=args.transactions,
+    if args.cache_verify:
+        return _cmd_cache_verify(args, runner_bench)
+    policy = RetryPolicy.from_env(
+        max_retries=args.max_retries,
+        cell_timeout_s=args.cell_timeout,
+        keep_going=True if args.keep_going else None,
     )
+    try:
+        outcome = runner_bench.run_bench(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            transactions=args.transactions,
+            policy=policy,
+        )
+    except CellFailure as failure:
+        # the structured abort: cell, attempts, tracebacks — on stderr
+        print(failure.report_text(), file=sys.stderr)
+        return 1
     # The report goes to stdout (byte-identical to `repro all`); the
     # bench summary goes to stderr so redirected output stays clean.
     print(outcome.report)
     runner_bench.write_document(args.output, outcome.document)
     print(outcome.summary, file=sys.stderr)
     print("wrote %s" % args.output, file=sys.stderr)
+    if outcome.document.get("failed_cells"):
+        print(
+            "%d cell(s) failed; report is partial (--keep-going)"
+            % len(outcome.document["failed_cells"]),
+            file=sys.stderr,
+        )
+        return 1
+
+
+def _cmd_cache_verify(args, runner_bench):
+    """``bench --cache-verify``: re-hash every entry, quarantine bad ones."""
+    report = runner_bench.verify_cache(args.cache_dir)
+    quarantined = [row for row in report if row["status"] == "quarantined"]
+    for row in report:
+        line = "%-11s %s" % (row["status"], row["key"])
+        if row["cell"]:
+            line += "  (%s)" % row["cell"]
+        if row["reason"]:
+            line += "  -- %s" % row["reason"]
+        print(line)
+    print(
+        "cache-verify: %d entr%s checked, %d quarantined"
+        % (len(report), "y" if len(report) == 1 else "ies", len(quarantined)),
+        file=sys.stderr,
+    )
+    return 1 if quarantined else 0
 
 
 def _positive_int(text):
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError("must be >= 1, got %d" % value)
+    return value
+
+
+def _nonnegative_int(text):
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0, got %d" % value)
+    return value
+
+
+def _positive_float(text):
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be > 0, got %r" % value)
     return value
 
 
@@ -227,6 +281,35 @@ def build_parser():
         metavar="PATH",
         help="where to write the bench document (default %s)"
         % runner_bench.DEFAULT_DOCUMENT_PATH,
+    )
+    bench.add_argument(
+        "--max-retries",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="per-cell charged-failure budget before degrading to serial "
+        "(default: REPRO_MAX_RETRIES or 2)",
+    )
+    bench.add_argument(
+        "--cell-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog deadline per cell execution under --jobs N>1; a hung "
+        "worker is killed and the cell retried (default: REPRO_CELL_TIMEOUT "
+        "or no deadline)",
+    )
+    bench.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="do not abort when a cell exhausts the retry/degradation "
+        "ladder: emit a partial report and a failed_cells section instead",
+    )
+    bench.add_argument(
+        "--cache-verify",
+        action="store_true",
+        help="instead of running the bench, re-hash every cache entry and "
+        "quarantine mismatches (exit 1 if any were quarantined)",
     )
     micro = sub.add_parser("micro", help="one platform's microbenchmark column")
     micro.add_argument(

@@ -7,15 +7,28 @@ spawned worker processes, or straight out of an on-disk cache
 deterministically merges the payloads back into the exact shapes and
 bytes the serial suite always produced (:mod:`repro.runner.merge`).
 
+The execution layer is fault tolerant (:mod:`repro.runner.resilience`):
+failed, hung, or crashed workers are retried with bounded exponential
+backoff under a per-cell budget, exhausted cells degrade to in-process
+serial execution, corrupt payloads and poisoned cache entries are
+detected by sha256 verification and quarantined, and only a cell that
+fails the whole ladder aborts the run (or is recorded and skipped under
+``keep_going``).  :mod:`repro.runner.faults` injects deterministic
+chaos — crash/hang/corrupt/poison per cell per attempt — when
+``REPRO_FAULT_PLAN`` is set, so all of the above is provable in tests
+without real flakiness.
+
 ``repro.core.suite`` routes every ``*_report``/``*_data`` entry point
 through here, so callers get sharding, deduplication (Table II and the
-VHE comparison share their KVM ARM cells) and caching for free.  The
-default plan is serial and uncached; it can be widened per call or via
-environment:
+VHE comparison share their KVM ARM cells), caching and fault tolerance
+for free.  The default plan is serial and uncached; it can be widened
+per call or via environment:
 
 * ``REPRO_JOBS=N`` — fan cells out over N worker processes;
 * ``REPRO_CACHE_DIR=PATH`` — reuse cached cell results keyed by the
-  model fingerprint, live cost tables, and cell parameters.
+  model fingerprint, live cost tables, and cell parameters;
+* ``REPRO_MAX_RETRIES`` / ``REPRO_CELL_TIMEOUT`` / ``REPRO_KEEP_GOING``
+  — the retry policy (see :class:`repro.runner.resilience.RetryPolicy`).
 
 ``python -m repro bench`` (:mod:`repro.runner.bench`) runs the full
 grid plus the oversubscription sweep and emits ``BENCH_suite.json``.
@@ -24,10 +37,22 @@ grid plus the oversubscription sweep and emits ``BENCH_suite.json``.
 import dataclasses
 import os
 
-from repro.runner import bench, cache, cells, merge, pool
+from repro.runner import bench, cache, cells, faults, merge, pool, resilience
 from repro.runner.cache import ResultCache
 from repro.runner.cells import CellSpec
-from repro.runner.pool import CellResult, execute_cell, run_cells
+from repro.runner.pool import (
+    CellResult,
+    RunOutcome,
+    execute_cell,
+    run_cells,
+    run_cells_outcome,
+)
+from repro.runner.resilience import (
+    CellExecutionError,
+    CellFailure,
+    FailedCell,
+    RetryPolicy,
+)
 
 
 @dataclasses.dataclass
@@ -39,14 +64,19 @@ class Plan:
 
 
 def default_plan():
-    """The environment-configured plan (serial, uncached by default)."""
+    """The environment-configured plan (serial, uncached by default).
+
+    ``REPRO_JOBS`` is validated here — a garbage value raises a clear
+    :class:`~repro.errors.ConfigurationError` instead of surfacing as a
+    ``ProcessPoolExecutor`` traceback deep in the pool.
+    """
     return Plan(
-        jobs=int(os.environ.get("REPRO_JOBS", "1")),
+        jobs=resilience.validate_jobs(os.environ.get(resilience.ENV_JOBS, "1")),
         cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
     )
 
 
-def run_plan(specs, jobs=None, cache_dir=None):
+def run_plan(specs, jobs=None, cache_dir=None, policy=None):
     """Run cells under the given (or environment-default) plan."""
     plan = default_plan()
     if jobs is None:
@@ -54,21 +84,29 @@ def run_plan(specs, jobs=None, cache_dir=None):
     if cache_dir is None:
         cache_dir = plan.cache_dir
     result_cache = ResultCache(cache_dir) if cache_dir else None
-    return run_cells(specs, jobs=jobs, cache=result_cache)
+    return run_cells(specs, jobs=jobs, cache=result_cache, policy=policy)
 
 
 __all__ = [
+    "CellExecutionError",
+    "CellFailure",
     "CellResult",
     "CellSpec",
+    "FailedCell",
     "Plan",
     "ResultCache",
+    "RetryPolicy",
+    "RunOutcome",
     "bench",
     "cache",
     "cells",
     "default_plan",
     "execute_cell",
+    "faults",
     "merge",
     "pool",
+    "resilience",
     "run_cells",
+    "run_cells_outcome",
     "run_plan",
 ]

@@ -3,9 +3,10 @@
 Runs the full bench cell grid (every report cell plus the
 oversubscription sweep) through the runner and emits a
 ``BENCH_suite.json`` artifact: wall time and simulated cycles per cell,
-cache hit/miss counts, and the sha256 of the rendered report so CI can
-assert a warm-cache rerun reproduced the suite byte-for-byte without
-re-simulating anything.
+cache hit/miss counts, resilience activity (retries, degradations,
+quarantines — see DESIGN.md "Runner failure model"), and the sha256 of
+the rendered report so CI can assert a warm-cache rerun reproduced the
+suite byte-for-byte without re-simulating anything.
 
 Document schema (``tools/validate_bench.py`` is the CI check):
 
@@ -17,11 +18,23 @@ Document schema (``tools/validate_bench.py`` is the CI check):
       "cache": {"enabled": true, "directory": "...", "hits": 0, "misses": 34},
       "cells": [
         {"id": "micro[key=kvm-arm]", "kind": "micro", "params": {"key": "kvm-arm"},
-         "source": "run", "wall_ms": 12.3, "simulated_cycles": 123456, "engines": 2}
+         "source": "run", "wall_ms": 12.3, "simulated_cycles": 123456,
+         "engines": 2, "attempts": 1, "degraded": false}
       ],
       "totals": {"cells": 34, "wall_ms": 900.1, "simulated_cycles": 1234567890},
+      "resilience": {
+        "policy": {"max_retries": 2, "cell_timeout_s": null, "keep_going": false},
+        "retries": 0, "requeues": 0, "timeouts": 0, "pool_crashes": 0,
+        "corrupt_payloads": 0, "degraded": 0, "failed": 0, "quarantined": 0,
+        "swept_tmp": 0
+      },
+      "failed_cells": [],
       "report_sha256": "..."
     }
+
+``failed_cells`` is present only when ``--keep-going`` swallowed
+failures; the report then carries explicit section-omission markers and
+``partial`` is true.
 """
 
 import dataclasses
@@ -29,9 +42,11 @@ import hashlib
 import json
 import time
 
+from repro.obs import MetricsRegistry
 from repro.runner import cells, merge
 from repro.runner.cache import ResultCache, model_fingerprint
-from repro.runner.pool import run_cells
+from repro.runner.pool import RESILIENCE_COUNTERS, run_cells_outcome
+from repro.runner.resilience import RetryPolicy
 
 BENCH_SCHEMA = "repro-bench/1"
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -49,7 +64,8 @@ class BenchOutcome:
     def summary(self):
         totals = self.document["totals"]
         cache = self.document["cache"]
-        return (
+        resilience_block = self.document["resilience"]
+        text = (
             "bench: %d cells in %.0f ms wall (%d simulated cycles), "
             "cache %s: %d hits / %d misses"
             % (
@@ -61,6 +77,25 @@ class BenchOutcome:
                 cache["misses"],
             )
         )
+        noisy = {
+            name: resilience_block[name]
+            for name in (
+                "retries",
+                "requeues",
+                "timeouts",
+                "pool_crashes",
+                "corrupt_payloads",
+                "degraded",
+                "failed",
+                "quarantined",
+            )
+            if resilience_block.get(name)
+        }
+        if noisy:
+            text += "; resilience: " + ", ".join(
+                "%s=%d" % item for item in sorted(noisy.items())
+            )
+        return text
 
 
 def run_bench(
@@ -68,24 +103,36 @@ def run_bench(
     cache_dir=DEFAULT_CACHE_DIR,
     use_cache=True,
     transactions=cells.DEFAULT_RR_TRANSACTIONS,
+    policy=None,
 ):
     """Run the bench grid; returns a :class:`BenchOutcome`.
 
     The rendered report is byte-identical to ``suite.full_report()`` —
     the bench grid is a superset of the report cells, and the merge is
-    the same code path.
+    the same code path.  ``policy`` (a
+    :class:`~repro.runner.resilience.RetryPolicy`) defaults to the
+    ``REPRO_MAX_RETRIES`` / ``REPRO_CELL_TIMEOUT`` / ``REPRO_KEEP_GOING``
+    environment; under ``keep_going`` a run with failed cells still
+    yields a (partial) report and document with a ``failed_cells``
+    section.
     """
     cache = ResultCache(cache_dir) if use_cache else None
+    policy = policy if policy is not None else RetryPolicy.from_env()
+    metrics = MetricsRegistry()
     specs = cells.bench_cells(transactions)
     start = time.perf_counter()
-    results = run_cells(specs, jobs=jobs, cache=cache)
+    outcome = run_cells_outcome(
+        specs, jobs=jobs, cache=cache, policy=policy, metrics=metrics
+    )
     wall_ms = (time.perf_counter() - start) * 1000.0
-    report = merge.full_report_text(results, transactions)
-    document = _build_document(results, jobs, cache, cache_dir, wall_ms, report)
+    report = merge.full_report_text(
+        outcome.results, transactions, partial=bool(outcome.failures)
+    )
+    document = _build_document(outcome, jobs, policy, cache, cache_dir, wall_ms, report)
     return BenchOutcome(report=report, document=document)
 
 
-def _build_document(results, jobs, cache, cache_dir, wall_ms, report):
+def _build_document(outcome, jobs, policy, cache, cache_dir, wall_ms, report):
     cell_rows = [
         {
             "id": result.spec.id,
@@ -95,10 +142,16 @@ def _build_document(results, jobs, cache, cache_dir, wall_ms, report):
             "wall_ms": result.wall_ms,
             "simulated_cycles": result.simulated_cycles,
             "engines": result.engines,
+            "attempts": result.attempts,
+            "degraded": result.degraded,
         }
-        for result in results.values()
+        for result in outcome.results.values()
     ]
-    return {
+    counters = {
+        name.rsplit(".", 1)[-1]: outcome.metrics.get(name).value
+        for name in RESILIENCE_COUNTERS
+    }
+    document = {
         "schema": BENCH_SCHEMA,
         "jobs": jobs,
         "model_fingerprint": model_fingerprint(),
@@ -114,8 +167,30 @@ def _build_document(results, jobs, cache, cache_dir, wall_ms, report):
             "wall_ms": wall_ms,
             "simulated_cycles": sum(row["simulated_cycles"] for row in cell_rows),
         },
+        "resilience": dict(
+            counters,
+            policy={
+                "max_retries": policy.max_retries,
+                "cell_timeout_s": policy.cell_timeout_s,
+                "keep_going": policy.keep_going,
+            },
+            swept_tmp=cache.swept_tmp if cache is not None else 0,
+        ),
         "report_sha256": hashlib.sha256(report.encode("utf-8")).hexdigest(),
     }
+    if outcome.failures:
+        document["partial"] = True
+        document["failed_cells"] = [failed.as_dict() for failed in outcome.failures]
+    return document
+
+
+def verify_cache(cache_dir=DEFAULT_CACHE_DIR):
+    """``--cache-verify``: re-hash every entry, quarantining mismatches.
+
+    Returns the per-entry report rows from
+    :meth:`~repro.runner.cache.ResultCache.verify_entries`.
+    """
+    return ResultCache(cache_dir).verify_entries()
 
 
 def write_document(path, document):

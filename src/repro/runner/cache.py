@@ -16,9 +16,18 @@ together everything that can change its payload:
 
 Entries are one JSON file per key under ``<dir>/<key[:2]>/<key>.json``,
 written atomically (tempfile + rename) so concurrent workers and
-concurrent suite runs can share a directory.  A corrupt, truncated, or
-foreign entry is *always* treated as a miss, never an error — poisoning
-the cache can cost time, not correctness.
+concurrent suite runs can share a directory; stale ``*.tmp.<pid>``
+scratch files left by a killed run are swept on open.
+
+Integrity: every entry carries a ``payload_sha256`` over the canonical
+payload JSON, verified on read.  A corrupt, truncated, or
+hash-mismatched entry is **quarantined** — moved to
+``<dir>/quarantine/<key>.json`` next to a ``<key>.reason`` file — and
+treated as a miss, never an error: poisoning the cache can cost time,
+not correctness, and the evidence survives for inspection.  An entry
+with a foreign schema tag is simply a miss (a version skew, not
+corruption; the next store overwrites it).  ``verify_entries`` re-hashes
+the whole store on demand (``python -m repro bench --cache-verify``).
 """
 
 import dataclasses
@@ -30,9 +39,13 @@ import pathlib
 
 import repro
 from repro.hw import costs as hw_costs
+from repro.runner import faults, resilience
 
 #: bump when the entry layout changes; old entries become misses.
-CACHE_SCHEMA = "repro-runner-cache/1"
+CACHE_SCHEMA = "repro-runner-cache/2"
+
+#: subdirectory (inside the cache) holding quarantined entries
+QUARANTINE_DIR = "quarantine"
 
 _MODEL_FINGERPRINT = None
 
@@ -82,6 +95,16 @@ def _digest(document):
     ).hexdigest()
 
 
+def _pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
 class ResultCache:
     """On-disk content-addressed store of cell payloads."""
 
@@ -89,6 +112,54 @@ class ResultCache:
         self.directory = pathlib.Path(directory)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self.swept_tmp = self._sweep_stale_tmp()
+
+    # -- hygiene -----------------------------------------------------------
+
+    def _sweep_stale_tmp(self):
+        """Remove ``*.tmp.<pid>`` scratch left by a killed previous run.
+
+        A scratch file whose writer pid is still alive is left alone (a
+        concurrent run mid-store); anything else — dead pid, mangled
+        name — is debris from a run that never reached its atomic
+        rename, and can only accumulate.
+        """
+        if not self.directory.is_dir():
+            return 0
+        swept = 0
+        for scratch in self.directory.glob("*/*.json.tmp.*"):
+            suffix = scratch.name.rsplit(".", 1)[-1]
+            alive = suffix.isdigit() and _pid_alive(int(suffix))
+            if not alive:
+                try:
+                    scratch.unlink()
+                    swept += 1
+                except OSError:
+                    pass  # a concurrent sweeper got there first
+        return swept
+
+    def quarantine_path(self):
+        return self.directory / QUARANTINE_DIR
+
+    def _quarantine(self, path, key, reason):
+        """Move a bad entry aside (with a reason file) instead of deleting.
+
+        Quarantined evidence is what lets a human (or the CI chaos job)
+        distinguish "the cache was poisoned" from "the cache was cold".
+        """
+        destination = self.quarantine_path()
+        destination.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, destination / (key + ".json"))
+        except OSError:
+            return  # gone already (concurrent quarantine/store)
+        (destination / (key + ".reason")).write_text(
+            "key: %s\nreason: %s\n" % (key, reason), encoding="utf-8"
+        )
+        self.quarantined += 1
+
+    # -- keys --------------------------------------------------------------
 
     def base_fingerprint(self):
         """The model+costs half of every key (compute once per run)."""
@@ -115,20 +186,48 @@ class ResultCache:
     def _path(self, key):
         return self.directory / key[:2] / (key + ".json")
 
+    # -- entries -----------------------------------------------------------
+
+    @staticmethod
+    def _entry_problem(entry, key):
+        """Why a parsed entry is untrustworthy, or None if it is sound."""
+        if not isinstance(entry, dict):
+            return "entry is not a JSON object"
+        if entry.get("key") != key:
+            return "embedded key %r does not match filename" % (entry.get("key"),)
+        if "payload" not in entry:
+            return "payload missing"
+        if not isinstance(entry.get("stats"), dict):
+            return "stats block missing"
+        recorded = entry.get("payload_sha256")
+        actual = resilience.payload_digest(entry["payload"])
+        if recorded != actual:
+            return "payload hash mismatch (recorded %r, actual %s)" % (
+                recorded,
+                actual,
+            )
+        return None
+
     def load(self, key):
-        """The stored entry dict, or None (corruption counts as a miss)."""
+        """The stored entry dict, or None (corruption quarantines + misses)."""
+        path = self._path(key)
         try:
-            entry = json.loads(self._path(key).read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            raw = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None  # a cold miss, nothing to quarantine
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self._quarantine(path, key, "unparseable JSON (torn write or poison)")
             self.misses += 1
             return None
-        if (
-            not isinstance(entry, dict)
-            or entry.get("schema") != CACHE_SCHEMA
-            or entry.get("key") != key
-            or "payload" not in entry
-            or not isinstance(entry.get("stats"), dict)
-        ):
+        if isinstance(entry, dict) and entry.get("schema") != CACHE_SCHEMA:
+            self.misses += 1  # foreign version: stale, not corrupt
+            return None
+        problem = self._entry_problem(entry, key)
+        if problem is not None:
+            self._quarantine(path, key, problem)
             self.misses += 1
             return None
         self.hits += 1
@@ -143,6 +242,7 @@ class ResultCache:
             "kind": result.spec.kind,
             "params": result.spec.params_dict(),
             "payload": result.payload,
+            "payload_sha256": resilience.payload_digest(result.payload),
             "stats": {
                 "wall_ms": result.wall_ms,
                 "simulated_cycles": result.simulated_cycles,
@@ -156,3 +256,37 @@ class ResultCache:
         # and workload row order) and must survive the round trip.
         scratch.write_text(json.dumps(entry, indent=1) + "\n", encoding="utf-8")
         os.replace(scratch, path)
+        faults.maybe_poison_entry(result.spec.id, path)
+
+    def verify_entries(self):
+        """Re-hash every entry; quarantine mismatches.  Returns a report.
+
+        Each report row is ``{"key", "cell", "status", "reason"}`` with
+        status ``ok`` or ``quarantined`` (``python -m repro bench
+        --cache-verify``).
+        """
+        report = []
+        if not self.directory.is_dir():
+            return report
+        for path in sorted(self.directory.glob("??/*.json")):
+            key = path.stem
+            row = {"key": key, "cell": None, "status": "ok", "reason": None}
+            try:
+                entry = json.loads(path.read_bytes().decode("utf-8"))
+            except (OSError, UnicodeDecodeError, ValueError):
+                self._quarantine(path, key, "unparseable JSON (torn write or poison)")
+                row.update(status="quarantined", reason="unparseable JSON")
+                report.append(row)
+                continue
+            if isinstance(entry, dict):
+                row["cell"] = entry.get("cell")
+            if isinstance(entry, dict) and entry.get("schema") != CACHE_SCHEMA:
+                row.update(status="ok", reason="foreign schema (ignored)")
+                report.append(row)
+                continue
+            problem = self._entry_problem(entry, key)
+            if problem is not None:
+                self._quarantine(path, key, problem)
+                row.update(status="quarantined", reason=problem)
+            report.append(row)
+        return report

@@ -29,6 +29,7 @@ from repro.core.oversubscription import OversubscriptionExperiment
 from repro.core.testbed import build_testbed, native_testbed
 from repro.errors import ConfigurationError
 from repro.paperdata import PLATFORM_ORDER
+from repro.runner import faults
 from repro.workloads import FIGURE4_WORKLOADS
 
 #: netperf TCP_RR transactions simulated per Table V cell (the
@@ -177,8 +178,14 @@ CELL_KINDS = {
 }
 
 
-def run_cell(spec):
-    """Execute one cell in this process; returns its JSON payload."""
+def run_cell(spec, attempt=0):
+    """Execute one cell in this process; returns its JSON payload.
+
+    ``attempt`` is the cell's submission index (0 on the first try); it
+    only matters to the deterministic fault-injection hook, which is a
+    no-op unless ``REPRO_FAULT_PLAN`` is set (chaos tests / CI).
+    """
+    faults.on_run_cell(spec.id, attempt)
     runner = CELL_KINDS.get(spec.kind)
     if runner is None:
         raise ConfigurationError("unknown cell kind %r" % (spec.kind,))

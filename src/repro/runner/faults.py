@@ -1,0 +1,272 @@
+"""Deterministic fault injection for the runner (chaos testing only).
+
+The resilience machinery in :mod:`repro.runner.resilience` /
+:mod:`repro.runner.pool` has to be provable without real flakiness:
+tests and the CI chaos job cannot wait for a genuine segfault or OOM
+kill.  This module injects those failures *on demand*, driven by a plan
+that is deterministic per cell and per attempt, so every chaos run is
+exactly reproducible.
+
+Faults are injected **only** when the ``REPRO_FAULT_PLAN`` environment
+variable is set — either to an inline JSON document or to the path of a
+JSON file.  With the variable unset every hook in this module is a
+no-op, which is what keeps production runs byte-identical to the
+pre-resilience runner.
+
+Plan document::
+
+    {
+      "name": "crash-then-recover",        # optional: distinguishes plans
+      "seed": 0,                           # optional: reserved namespace salt
+      "faults": [
+        {"cell": "micro[key=kvm-arm]", "kind": "crash", "times": 1},
+        {"cell": "breakdown", "kind": "hang", "times": 1, "seconds": 30},
+        {"cell": "tcprr[config=native,transactions=40]",
+         "kind": "transient", "times": 2}
+      ]
+    }
+
+Fault kinds:
+
+* ``crash`` — the worker process hard-exits (``os._exit``), exactly like
+  a segfault or the OOM killer; in-process execution (``jobs=1`` or the
+  degraded serial rung) converts it to a raised :class:`InjectedFault`
+  so the parent survives;
+* ``hang`` — the worker sleeps ``seconds`` (default 30), exactly like a
+  deadlocked cell; in-process it raises instead of sleeping;
+* ``transient`` — raises :class:`InjectedFault` (a retryable error);
+* ``corrupt-payload`` — the cell runs normally but its payload is
+  scribbled *after* the integrity digest is computed, so the parent's
+  hash verification catches it;
+* ``poison-cache-entry`` — the entry just stored for the cell is
+  overwritten with garbage, so the next read must quarantine it.
+
+Worker-side kinds (crash/hang/transient/corrupt-payload) fire while the
+cell's attempt index is below the rule's cumulative ``times`` budget —
+attempt indices advance on every (re)submission, so a ``times: 1`` crash
+fires exactly once and the retry succeeds.  ``poison-cache-entry`` fires
+on the first ``times`` stores of the cell, counted in the parent process
+(stores never happen in workers).
+"""
+
+import json
+import os
+import time
+
+from repro.errors import ConfigurationError, ReproError
+
+#: environment variable holding the plan (inline JSON or a file path)
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: kinds decided by the cell's attempt index (fire in whichever process
+#: executes the cell)
+WORKER_KINDS = ("crash", "hang", "transient", "corrupt-payload")
+#: kinds decided by a parent-process store counter
+PARENT_KINDS = ("poison-cache-entry",)
+ALL_KINDS = WORKER_KINDS + PARENT_KINDS
+
+#: what a poisoned entry is overwritten with (deliberately unparseable)
+POISON_BYTES = b"\x00\xffpoisoned-by-fault-plan\x00"
+
+_IN_WORKER = False
+_CACHED_PLAN = (None, None)  # (env text, parsed FaultPlan)
+
+
+class InjectedFault(ReproError):
+    """A deliberately injected, retryable cell failure."""
+
+    def __init__(self, cell_id, kind, attempt):
+        super().__init__(
+            "injected %s fault on cell %s (attempt %d)" % (kind, cell_id, attempt)
+        )
+        self.cell_id = cell_id
+        self.kind = kind
+        self.attempt = attempt
+
+    def __reduce__(self):
+        return (type(self), (self.cell_id, self.kind, self.attempt))
+
+
+class FaultRule:
+    """One plan entry: fire ``kind`` on ``cell`` for ``times`` attempts."""
+
+    __slots__ = ("cell", "kind", "times", "seconds")
+
+    def __init__(self, cell, kind, times=1, seconds=30.0):
+        if not isinstance(cell, str) or not cell:
+            raise ConfigurationError("fault rule cell must be a non-empty string")
+        if kind not in ALL_KINDS:
+            raise ConfigurationError(
+                "unknown fault kind %r (expected one of %s)" % (kind, list(ALL_KINDS))
+            )
+        if not isinstance(times, int) or isinstance(times, bool) or times < 1:
+            raise ConfigurationError("fault rule times must be an int >= 1")
+        self.cell = cell
+        self.kind = kind
+        self.times = times
+        self.seconds = float(seconds)
+
+    def __repr__(self):
+        return "FaultRule(%r, %r, times=%d)" % (self.cell, self.kind, self.times)
+
+
+class FaultPlan:
+    """A parsed plan: per-cell rules plus parent-side poison counters."""
+
+    def __init__(self, rules, name="", seed=0):
+        self.name = name
+        self.seed = seed
+        self.rules = list(rules)
+        self._poison_fired = {}  # cell id -> stores poisoned so far
+
+    def worker_rules(self, cell_id):
+        return [
+            rule
+            for rule in self.rules
+            if rule.cell == cell_id and rule.kind in WORKER_KINDS
+        ]
+
+    def worker_fault_for(self, cell_id, attempt):
+        """The rule firing on this attempt, or None.
+
+        Rules for a cell consume attempt indices in plan order: a plan
+        with ``crash times=1`` then ``transient times=2`` fires crash on
+        attempt 0 and transient on attempts 1-2.
+        """
+        budget = 0
+        for rule in self.worker_rules(cell_id):
+            budget += rule.times
+            if attempt < budget:
+                return rule
+        return None
+
+    def should_poison(self, cell_id):
+        """True if the store that just happened for cell must be poisoned."""
+        budget = sum(
+            rule.times
+            for rule in self.rules
+            if rule.cell == cell_id and rule.kind == "poison-cache-entry"
+        )
+        if budget == 0:
+            return False
+        fired = self._poison_fired.get(cell_id, 0)
+        if fired >= budget:
+            return False
+        self._poison_fired[cell_id] = fired + 1
+        return True
+
+
+def parse(text):
+    """Parse a plan document (inline JSON string) into a FaultPlan."""
+    try:
+        document = json.loads(text)
+    except ValueError as exc:
+        raise ConfigurationError("invalid %s JSON: %s" % (ENV_VAR, exc))
+    if not isinstance(document, dict) or not isinstance(document.get("faults"), list):
+        raise ConfigurationError(
+            "%s must be a JSON object with a 'faults' list" % ENV_VAR
+        )
+    rules = []
+    for index, raw in enumerate(document["faults"]):
+        if not isinstance(raw, dict):
+            raise ConfigurationError("fault rule %d is not an object" % index)
+        rules.append(
+            FaultRule(
+                cell=raw.get("cell"),
+                kind=raw.get("kind"),
+                times=raw.get("times", 1),
+                seconds=raw.get("seconds", 30.0),
+            )
+        )
+    return FaultPlan(
+        rules, name=document.get("name", ""), seed=document.get("seed", 0)
+    )
+
+
+def active_plan(environ=None):
+    """The plan named by ``REPRO_FAULT_PLAN``, or None.
+
+    The parsed plan is cached per environment value so parent-side
+    counters (poison budgets) persist across calls within one process;
+    changing the variable (or its ``name``/``seed``) yields a fresh plan
+    with fresh counters.
+    """
+    global _CACHED_PLAN
+    text = (environ if environ is not None else os.environ).get(ENV_VAR)
+    if not text:
+        return None
+    if _CACHED_PLAN[0] == text:
+        return _CACHED_PLAN[1]
+    source = text
+    if not text.lstrip().startswith("{"):
+        try:
+            with open(text, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise ConfigurationError("cannot read %s file: %s" % (ENV_VAR, exc))
+    plan = parse(source)
+    _CACHED_PLAN = (text, plan)
+    return plan
+
+
+def reset_plan_cache():
+    """Forget the cached plan (tests: fresh poison counters per case)."""
+    global _CACHED_PLAN
+    _CACHED_PLAN = (None, None)
+
+
+def mark_worker_process():
+    """Pool-worker initializer: crash/hang faults may act for real here."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def in_worker():
+    return _IN_WORKER
+
+
+def on_run_cell(cell_id, attempt):
+    """Pre-execution hook (called from ``cells.run_cell``).
+
+    No-op without an active plan.  ``crash`` hard-exits the process when
+    running inside a pool worker (simulating a segfault); in-process it
+    raises so the parent survives and can report the failure.  ``hang``
+    sleeps in a worker (the watchdog must kill it) and raises
+    in-process.  ``transient`` always raises.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    rule = plan.worker_fault_for(cell_id, attempt)
+    if rule is None or rule.kind == "corrupt-payload":
+        return
+    if rule.kind == "crash":
+        if in_worker():
+            os._exit(13)
+        raise InjectedFault(cell_id, "crash", attempt)
+    if rule.kind == "hang":
+        if in_worker():
+            time.sleep(rule.seconds)
+            # if the watchdog never killed us, fail loudly rather than
+            # returning a payload that looks healthy
+        raise InjectedFault(cell_id, "hang", attempt)
+    raise InjectedFault(cell_id, "transient", attempt)
+
+
+def corrupts_payload(cell_id, attempt):
+    """True if this attempt's payload must be scribbled post-digest."""
+    plan = active_plan()
+    if plan is None:
+        return False
+    rule = plan.worker_fault_for(cell_id, attempt)
+    return rule is not None and rule.kind == "corrupt-payload"
+
+
+def maybe_poison_entry(cell_id, path):
+    """Post-store hook (called from ``cache.store``): scribble the entry."""
+    plan = active_plan()
+    if plan is not None and plan.should_poison(cell_id):
+        with open(path, "wb") as handle:
+            handle.write(POISON_BYTES)
+        return True
+    return False

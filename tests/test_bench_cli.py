@@ -45,6 +45,36 @@ class TestParser:
     def test_no_cache_flag(self):
         assert build_parser().parse_args(["bench", "--no-cache"]).no_cache is True
 
+    def test_resilience_flag_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.max_retries is None  # defer to REPRO_MAX_RETRIES / policy
+        assert args.cell_timeout is None
+        assert args.keep_going is False
+        assert args.cache_verify is False
+
+    def test_resilience_flags_parse(self):
+        args = build_parser().parse_args(
+            ["bench", "--max-retries", "0", "--cell-timeout", "2.5", "--keep-going"]
+        )
+        assert args.max_retries == 0
+        assert args.cell_timeout == 2.5
+        assert args.keep_going is True
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["bench", "--max-retries", "-1"],
+            ["bench", "--max-retries", "lots"],
+            ["bench", "--cell-timeout", "0"],
+            ["bench", "--cell-timeout", "-3"],
+            ["bench", "--cell-timeout", "soon"],
+        ],
+    )
+    def test_bad_resilience_values_rejected(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+
 
 class TestExecution:
     @pytest.fixture
@@ -101,6 +131,102 @@ class TestExecution:
         document = json.loads((workdir / "BENCH_suite.json").read_text())
         assert document["cache"]["enabled"] is False
         assert document["cache"]["hits"] == 0
+
+    def test_fault_free_document_reports_quiet_resilience(self, workdir, capsys):
+        assert main(["bench", "--no-cache"]) == 0
+        capsys.readouterr()
+        document = json.loads((workdir / "BENCH_suite.json").read_text())
+        block = document["resilience"]
+        for counter in (
+            "retries",
+            "requeues",
+            "timeouts",
+            "pool_crashes",
+            "corrupt_payloads",
+            "degraded",
+            "failed",
+            "quarantined",
+            "swept_tmp",
+        ):
+            assert block[counter] == 0
+        assert block["policy"]["max_retries"] == 2
+        assert block["policy"]["keep_going"] is False
+        assert "failed_cells" not in document
+        assert "partial" not in document
+        assert all(cell["attempts"] == 1 for cell in document["cells"])
+        assert all(cell["degraded"] is False for cell in document["cells"])
+
+
+class TestResilienceExecution:
+    @pytest.fixture
+    def workdir(self, tmp_path, monkeypatch):
+        from repro.runner import faults
+
+        monkeypatch.chdir(tmp_path)
+        faults.reset_plan_cache()
+        yield tmp_path
+        faults.reset_plan_cache()
+
+    def _doom_breakdown(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN",
+            json.dumps(
+                {
+                    "name": "cli-doom-breakdown",
+                    "faults": [
+                        {"cell": "breakdown", "kind": "transient", "times": 99}
+                    ],
+                }
+            ),
+        )
+
+    def test_exhausted_cell_aborts_with_structured_stderr(
+        self, workdir, monkeypatch, capsys
+    ):
+        self._doom_breakdown(monkeypatch)
+        assert main(["bench", "--no-cache", "--max-retries", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "1 cell(s) failed after exhausting retries" in err
+        assert "breakdown" in err
+        assert "InjectedFault" in err
+        assert not (workdir / "BENCH_suite.json").exists()
+
+    def test_keep_going_emits_partial_document(self, workdir, monkeypatch, capsys):
+        self._doom_breakdown(monkeypatch)
+        status = main(["bench", "--no-cache", "--max-retries", "0", "--keep-going"])
+        assert status == 1
+        captured = capsys.readouterr()
+        assert "[Table III omitted: cell breakdown failed" in captured.out
+        assert "Table II: Microbenchmark Measurements" in captured.out  # survivors
+        assert "report is partial (--keep-going)" in captured.err
+
+        document = json.loads((workdir / "BENCH_suite.json").read_text())
+        assert document["partial"] is True
+        (failed,) = document["failed_cells"]
+        assert failed["id"] == "breakdown"
+        assert failed["attempts"][0]["kind"] == "exception"
+        assert document["resilience"]["failed"] == 1
+        assert all(cell["id"] != "breakdown" for cell in document["cells"])
+
+        validator = _load_validate_bench()
+        assert validator.validate(str(workdir / "BENCH_suite.json")) == []
+
+    def test_cache_verify_quarantines_and_signals(self, workdir, capsys):
+        assert main(["bench"]) == 0
+        capsys.readouterr()
+        entry = next((workdir / ".repro-cache").glob("??/*.json"))
+        entry.write_bytes(b"\x00poisoned")
+
+        assert main(["bench", "--cache-verify"]) == 1
+        captured = capsys.readouterr()
+        assert "quarantined" in captured.out
+        assert "1 quarantined" in captured.err
+        assert (workdir / ".repro-cache" / "quarantine").is_dir()
+
+        # the store is clean now: a second verify passes
+        assert main(["bench", "--cache-verify"]) == 0
+        captured = capsys.readouterr()
+        assert "0 quarantined" in captured.err
 
 
 class TestValidateBenchTool:

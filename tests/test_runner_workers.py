@@ -66,12 +66,38 @@ class TestEngineAccounting:
         assert Engine.created_hook is None
 
     def test_created_hook_restored_after_failure(self):
-        from repro.errors import ConfigurationError
+        from repro.runner.resilience import CellExecutionError
 
         assert Engine.created_hook is None
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(CellExecutionError) as excinfo:
             execute_cell(cells.CellSpec("no-such-kind"))
         assert Engine.created_hook is None
+        # the wrapped failure names the original error and is marked
+        # non-retryable (a bad kind will not fix itself on attempt two)
+        assert excinfo.value.error_type == "ConfigurationError"
+        assert not excinfo.value.retryable
+
+    def test_failed_cell_records_partial_engine_accounting(self, monkeypatch):
+        # regression: a cell that raises *mid-run* (after building
+        # engines) must still restore the hook and carry its partial
+        # cycle/engine counts in the failure — not silently drop them.
+        from repro.runner.resilience import CellExecutionError
+
+        def _boom(_params):
+            engine = Engine()
+            engine.schedule(7, lambda: None)
+            engine.run()
+            raise RuntimeError("mid-run boom")
+
+        monkeypatch.setitem(cells.CELL_KINDS, "boom", _boom)
+        assert Engine.created_hook is None
+        with pytest.raises(CellExecutionError) as excinfo:
+            execute_cell(cells.CellSpec("boom"))
+        assert Engine.created_hook is None
+        assert excinfo.value.engines == 1
+        assert excinfo.value.simulated_cycles == 7
+        assert excinfo.value.retryable
+        assert "mid-run boom" in excinfo.value.traceback_text
 
     def test_hook_sees_every_engine(self):
         created = []

@@ -8,6 +8,12 @@ with the ``repro-bench/1`` schema tag, a positive ``jobs`` count, a
 non-negative wall time, simulated cycles and engine counts, totals that
 agree with the per-cell rows, and a 64-hex ``report_sha256``.
 
+Optional sections added by the fault-tolerant runner are validated when
+present: a ``resilience`` block (non-negative counters plus the retry
+policy), per-cell ``attempts``/``degraded`` fields, and — under
+``--keep-going`` — a ``partial`` flag and a ``failed_cells`` list whose
+entries carry id/kind/params and per-attempt failure records.
+
 Usage:
     python tools/validate_bench.py BENCH_suite.json [more.json ...]
 
@@ -20,6 +26,18 @@ import sys
 SCHEMA = "repro-bench/1"
 CELL_SOURCES = {"run", "cache"}
 SHA256_HEX_LEN = 64
+RESILIENCE_COUNTERS = (
+    "retries",
+    "requeues",
+    "timeouts",
+    "pool_crashes",
+    "corrupt_payloads",
+    "degraded",
+    "failed",
+    "quarantined",
+    "swept_tmp",
+)
+ATTEMPT_KINDS = {"exception", "timeout", "pool-crash", "corrupt-payload"}
 
 
 def _is_nonneg_number(value):
@@ -76,6 +94,10 @@ def validate(path):
         for key in ("simulated_cycles", "engines"):
             if not _is_nonneg_int(cell.get(key)):
                 problems.append("%s: cell %d %s=%r is not a non-negative int" % (path, index, key, cell.get(key)))
+        if "attempts" in cell and not (_is_nonneg_int(cell["attempts"]) and cell["attempts"] >= 1):
+            problems.append("%s: cell %d attempts=%r is not a positive int" % (path, index, cell["attempts"]))
+        if "degraded" in cell and not isinstance(cell["degraded"], bool):
+            problems.append("%s: cell %d degraded=%r is not a bool" % (path, index, cell["degraded"]))
         if _is_nonneg_int(cell.get("simulated_cycles")):
             cycles_total += cell["simulated_cycles"]
 
@@ -92,6 +114,9 @@ def validate(path):
                 "%s: totals.simulated_cycles=%r but cells sum to %d" % (path, totals.get("simulated_cycles"), cycles_total)
             )
 
+    problems.extend(_validate_resilience(path, document))
+    problems.extend(_validate_failed_cells(path, document))
+
     digest = document.get("report_sha256")
     if (
         not isinstance(digest, str)
@@ -99,6 +124,90 @@ def validate(path):
         or any(ch not in "0123456789abcdef" for ch in digest)
     ):
         problems.append("%s: report_sha256=%r is not 64 lowercase hex chars" % (path, digest))
+    return problems
+
+
+def _validate_resilience(path, document):
+    """Problems in the optional ``resilience`` block."""
+    if "resilience" not in document:
+        return []
+    problems = []
+    block = document["resilience"]
+    if not isinstance(block, dict):
+        return ["%s: resilience is not an object" % path]
+    for key in RESILIENCE_COUNTERS:
+        if not _is_nonneg_int(block.get(key)):
+            problems.append(
+                "%s: resilience.%s=%r is not a non-negative int" % (path, key, block.get(key))
+            )
+    policy = block.get("policy")
+    if not isinstance(policy, dict):
+        problems.append("%s: resilience.policy is not an object" % path)
+    else:
+        if not _is_nonneg_int(policy.get("max_retries")):
+            problems.append(
+                "%s: resilience.policy.max_retries=%r is not a non-negative int"
+                % (path, policy.get("max_retries"))
+            )
+        timeout = policy.get("cell_timeout_s")
+        if timeout is not None and not (_is_nonneg_number(timeout) and timeout > 0):
+            problems.append(
+                "%s: resilience.policy.cell_timeout_s=%r is not null or a positive number"
+                % (path, timeout)
+            )
+        if not isinstance(policy.get("keep_going"), bool):
+            problems.append(
+                "%s: resilience.policy.keep_going=%r is not a bool"
+                % (path, policy.get("keep_going"))
+            )
+    return problems
+
+
+def _validate_failed_cells(path, document):
+    """Problems in the optional ``partial``/``failed_cells`` sections."""
+    problems = []
+    if "partial" in document and not isinstance(document["partial"], bool):
+        problems.append("%s: partial=%r is not a bool" % (path, document["partial"]))
+    if "failed_cells" not in document:
+        return problems
+    failed_cells = document["failed_cells"]
+    if not isinstance(failed_cells, list):
+        return problems + ["%s: failed_cells is not a list" % path]
+    if failed_cells and document.get("partial") is not True:
+        problems.append("%s: failed_cells present but partial is not true" % path)
+    for index, failed in enumerate(failed_cells):
+        if not isinstance(failed, dict):
+            problems.append("%s: failed_cells[%d] is not an object" % (path, index))
+            continue
+        for key in ("id", "kind"):
+            if not isinstance(failed.get(key), str) or not failed.get(key):
+                problems.append(
+                    "%s: failed_cells[%d] %s=%r is not a non-empty string"
+                    % (path, index, key, failed.get(key))
+                )
+        if not isinstance(failed.get("params"), dict):
+            problems.append("%s: failed_cells[%d] params is not an object" % (path, index))
+        if not isinstance(failed.get("degraded"), bool):
+            problems.append("%s: failed_cells[%d] degraded is not a bool" % (path, index))
+        attempts = failed.get("attempts")
+        if not isinstance(attempts, list) or not attempts:
+            problems.append("%s: failed_cells[%d] attempts missing or empty" % (path, index))
+            continue
+        for a_index, attempt in enumerate(attempts):
+            where = "failed_cells[%d].attempts[%d]" % (index, a_index)
+            if not isinstance(attempt, dict):
+                problems.append("%s: %s is not an object" % (path, where))
+                continue
+            if not _is_nonneg_int(attempt.get("attempt")):
+                problems.append(
+                    "%s: %s attempt=%r is not a non-negative int" % (path, where, attempt.get("attempt"))
+                )
+            if attempt.get("kind") not in ATTEMPT_KINDS:
+                problems.append(
+                    "%s: %s kind=%r not in %s" % (path, where, attempt.get("kind"), sorted(ATTEMPT_KINDS))
+                )
+            if not isinstance(attempt.get("error"), str) or not attempt.get("error"):
+                problems.append("%s: %s error missing" % (path, where))
     return problems
 
 
