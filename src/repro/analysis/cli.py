@@ -5,6 +5,8 @@ Usage:
     python -m repro.analysis src/repro           # lint a tree
     python -m repro.analysis --format json path  # machine-readable output
     python -m repro.analysis --select CAL001,COV001 src/repro
+    python -m repro.analysis --flow src/repro    # + CFG path-symmetry tier
+    python -m repro.analysis --ignore DES001 --statistics src/repro
     python -m repro.analysis --list-rules
 
 Exit status: 0 clean, 1 findings, 2 bad invocation.
@@ -45,6 +47,18 @@ def build_parser():
         help="comma-separated rule codes to run (default: all configured)",
     )
     parser.add_argument(
+        "--ignore", metavar="RULES",
+        help="comma-separated rule codes to drop from the resolved set",
+    )
+    parser.add_argument(
+        "--flow", action="store_true",
+        help="also run the flow-sensitive tier (SYM001, SYM002, FLW001)",
+    )
+    parser.add_argument(
+        "--statistics", action="store_true",
+        help="append a per-rule finding-count summary",
+    )
+    parser.add_argument(
         "--config", metavar="PYPROJECT",
         help="pyproject.toml with a [tool.repro-lint] block "
              "(default: discovered upward from the first path)",
@@ -76,16 +90,23 @@ def main(argv=None):
         config = LintConfig.load(args.config)
     else:
         config = LintConfig.discover(paths[0])
-    select = None
-    if args.select:
-        select = [code.strip() for code in args.select.split(",") if code.strip()]
+    select = _codes(args.select)
+    ignore = _codes(args.ignore)
     try:
-        violations = run_analysis(paths, config=config, select=select)
+        violations = run_analysis(
+            paths, config=config, select=select, flow=args.flow, ignore=ignore
+        )
     except KeyError as exc:
         print("repro.analysis: %s" % exc.args[0], file=sys.stderr)
         return 2
-    print(RENDERERS[args.format](violations))
+    print(RENDERERS[args.format](violations, statistics=args.statistics))
     return 1 if violations else 0
+
+
+def _codes(raw):
+    if not raw:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
 
 
 if __name__ == "__main__":

@@ -37,6 +37,11 @@ DEFAULT_RULE_PATHS = {
     "DES001": (),
     "COV001": ("hv", "os", "hw"),
     "API001": ("hv",),
+    # flow tier: unscoped by default so fixture trees are fully checked;
+    # the repository's pyproject narrows these to the model layers.
+    "SYM001": (),
+    "SYM002": (),
+    "FLW001": (),
 }
 
 
@@ -60,6 +65,9 @@ class LintConfig:
     det001_allow: tuple = ("sim/rng.py",)
     #: COV001: package-relative path of the cost-model module
     cov001_costs_module: str = "hw/costs.py"
+    #: flow rules: acyclic-path budget per function (beyond it, the rest
+    #: of the function's paths go unchecked rather than hanging the lint)
+    flow_max_paths: int = 2000
 
     def paths_for(self, rule_code):
         return tuple(self.rule_paths.get(rule_code, ()))

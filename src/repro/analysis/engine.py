@@ -60,9 +60,21 @@ class SourceModule:
                 continue
             rules = match.group(1)
             if rules is None:
-                table[lineno] = {"*"}
+                codes = {"*"}
             else:
-                table[lineno] = {code.strip().upper() for code in rules.split(",") if code.strip()}
+                codes = {code.strip().upper() for code in rules.split(",") if code.strip()}
+            table.setdefault(lineno, set()).update(codes)
+            if line[: match.start()].strip() == "":
+                # A standalone suppression comment covers the next *code*
+                # line, so a multi-line justification can sit above a
+                # `def` with the directive leading the block.
+                target = lineno + 1
+                while (
+                    target <= len(self.lines)
+                    and self.lines[target - 1].lstrip().startswith("#")
+                ):
+                    target += 1
+                table.setdefault(target, set()).update(codes)
         return table
 
     @property
@@ -168,12 +180,14 @@ def discover(paths):
     return Project(modules), errors
 
 
-def run_analysis(paths, config=None, select=None):
+def run_analysis(paths, config=None, select=None, flow=False, ignore=None):
     """Run the configured rules over ``paths``; returns sorted violations.
 
     ``config`` defaults to the built-in :class:`~repro.analysis.config.LintConfig`
     (no pyproject discovery — explicit is better for tests); ``select``
-    optionally narrows to an iterable of rule codes.
+    optionally narrows to an iterable of rule codes, ``ignore`` drops
+    codes from whatever was resolved, and ``flow`` enables the CFG-based
+    flow tier (SYM001/SYM002/FLW001).
     """
     from repro.analysis.config import LintConfig
     from repro.analysis.rules import active_rules
@@ -182,7 +196,11 @@ def run_analysis(paths, config=None, select=None):
         config = LintConfig()
     project, errors = discover(paths)
     violations = list(errors)
-    for rule in active_rules(config, select):
+    rules = active_rules(config, select, flow=flow)
+    if ignore:
+        dropped = {code.upper() for code in ignore}
+        rules = tuple(rule for rule in rules if rule.code not in dropped)
+    for rule in rules:
         for violation in rule.check(project, config):
             module = _module_for(project, violation)
             if module is not None and module.is_suppressed(violation.line, violation.rule):

@@ -1,0 +1,238 @@
+"""Abstract effects: what a statement *does* to the modeled machine.
+
+The flow rules do not interpret Python; they pattern-match the small
+vocabulary of architectural primitives the model layers are written in:
+
+* costed steps — ``pcpu.op(label, cycles, category)`` — where the
+  ``"save"``/``"restore"`` categories carry a *register-class token*
+  recovered from the cost expression (``costs.save[reg_class]``) or the
+  label literal (``"save_gp_light"``);
+* context-image moves — ``arch.save_context(...)`` /
+  ``arch.load_context(...)``;
+* trap transitions — ``trap_to_el2``/``vmexit`` enter hypervisor
+  context, ``eret``/``vmentry`` leave it;
+* Stage-2 / virtualization-feature toggles —
+  ``disable_virt_features`` / ``enable_virt_features``.
+
+Extraction is *per CFG node*: compound statements contribute only their
+header expressions (their bodies are separate nodes), and nested
+``def``/``lambda`` bodies are opaque (they get their own analysis).
+"""
+
+import ast
+
+# effect kinds
+SAVE_OP = "save_op"  # pcpu.op(..., "save") — costed register-class save
+RESTORE_OP = "restore_op"  # pcpu.op(..., "restore")
+CTX_SAVE = "ctx_save"  # arch.save_context(...)
+CTX_LOAD = "ctx_load"  # arch.load_context(...)
+TRAP_ENTER = "trap_enter"  # trap_to_el2 / vmexit
+TRAP_EXIT = "trap_exit"  # eret / vmentry
+VIRT_OFF = "virt_off"  # disable_virt_features
+VIRT_ON = "virt_on"  # enable_virt_features
+COST = "cost"  # any pcpu.op(...) — a cycle charge
+
+_METHOD_EFFECTS = {
+    "save_context": CTX_SAVE,
+    "load_context": CTX_LOAD,
+    "trap_to_el2": TRAP_ENTER,
+    "vmexit": TRAP_ENTER,
+    "eret": TRAP_EXIT,
+    "vmentry": TRAP_EXIT,
+    "disable_virt_features": VIRT_OFF,
+    "enable_virt_features": VIRT_ON,
+}
+
+#: token used when a save/restore's register class cannot be named
+UNKNOWN = "?"
+
+
+class Effect:
+    __slots__ = ("kind", "token", "line")
+
+    def __init__(self, kind, token=None, line=0):
+        self.kind = kind
+        self.token = token
+        self.line = line
+
+    def __repr__(self):
+        return "Effect(%s, %r, line %d)" % (self.kind, self.token, self.line)
+
+
+def _dotted(node):
+    """``a.b.c`` -> "a.b.c"; None for anything else."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _iter_shallow(node):
+    """Walk ``node`` without entering nested function/class bodies."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+            ):
+                continue
+            stack.append(child)
+
+
+def _header_exprs(stmt):
+    """The expressions evaluated *at* a compound statement's own node."""
+    if isinstance(stmt, ast.If):
+        return [stmt.test]
+    if isinstance(stmt, ast.While):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return []  # nested definitions are opaque (analyzed on their own)
+    return None  # simple statement: walk it whole
+
+
+class Extractor:
+    """Effect extraction for one function, with loop-variable resolution.
+
+    A save inside ``for reg_class in ARM_SWITCH_ORDER:`` is tokenized as
+    the *iterable's* dotted name — the whole sweep is one token, so a
+    save loop over ``ARM_SWITCH_ORDER`` pairs with a restore loop over
+    the same name and nothing else.
+    """
+
+    def __init__(self, func):
+        self.func = func
+        self._loop_bindings = {}
+        for node in ast.walk(func):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(
+                node.target, ast.Name
+            ):
+                iter_name = _dotted(node.iter)
+                if iter_name is not None:
+                    self._loop_bindings[node.target.id] = iter_name
+        self._cache = {}
+
+    def effects(self, stmt):
+        key = id(stmt)
+        if key not in self._cache:
+            self._cache[key] = tuple(self._extract(stmt))
+        return self._cache[key]
+
+    # -- extraction ----------------------------------------------------
+
+    def _extract(self, stmt):
+        headers = _header_exprs(stmt)
+        roots = [stmt] if headers is None else headers
+        for root in roots:
+            for node in _iter_shallow(root):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                name = node.func.attr
+                if name == "op":
+                    yield from self._op_effects(node)
+                elif name in _METHOD_EFFECTS:
+                    yield Effect(_METHOD_EFFECTS[name], line=node.lineno)
+
+    def _op_effects(self, call):
+        category = self._category(call)
+        line = call.lineno
+        yield Effect(COST, token=category, line=line)
+        if category == "save":
+            yield Effect(SAVE_OP, token=self._reg_token(call), line=line)
+        elif category == "restore":
+            yield Effect(RESTORE_OP, token=self._reg_token(call), line=line)
+
+    @staticmethod
+    def _category(call):
+        args = call.args
+        if len(args) >= 3 and isinstance(args[2], ast.Constant):
+            if isinstance(args[2].value, str):
+                return args[2].value
+        for keyword in call.keywords:
+            if keyword.arg == "category" and isinstance(keyword.value, ast.Constant):
+                if isinstance(keyword.value.value, str):
+                    return keyword.value.value
+        return ""
+
+    def _reg_token(self, call):
+        """Name the register class a save/restore op moves."""
+        # 1. the cost expression: costs.save[reg_class] / costs.restore[...]
+        if len(call.args) >= 2:
+            cost = call.args[1]
+            if (
+                isinstance(cost, ast.Subscript)
+                and isinstance(cost.value, ast.Attribute)
+                and cost.value.attr in ("save", "restore")
+            ):
+                return self._token_expr(_subscript_index(cost))
+        # 2. the label: a literal, "save_%s" % x, or _label("save", x)
+        if call.args:
+            return self._label_token(call.args[0])
+        return UNKNOWN
+
+    def _label_token(self, label):
+        if isinstance(label, ast.Constant) and isinstance(label.value, str):
+            return _strip_prefix(label.value)
+        if isinstance(label, ast.BinOp) and isinstance(label.op, ast.Mod):
+            return self._token_expr(label.right)
+        if isinstance(label, ast.Call) and len(label.args) >= 2:
+            # the _label("save", reg_class) helper idiom
+            return self._token_expr(label.args[1])
+        return UNKNOWN
+
+    def _token_expr(self, node):
+        """A register-class expression -> its token."""
+        if isinstance(node, ast.Name):
+            return self._loop_bindings.get(node.id, UNKNOWN)
+        if isinstance(node, ast.Attribute):
+            # RegClass.GP -> "gp"; reg_class.name.lower() -> the root Name
+            root = node
+            while isinstance(root, ast.Attribute):
+                base = root.value
+                if isinstance(base, ast.Name):
+                    bound = self._loop_bindings.get(base.id)
+                    if bound is not None:
+                        return bound
+                root = base
+            return node.attr.lower()
+        if isinstance(node, ast.Call):
+            return self._token_expr(node.func)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return _strip_prefix(node.value)
+        return UNKNOWN
+
+
+def _subscript_index(sub):
+    index = sub.slice
+    # py3.8 wraps subscript indices in ast.Index
+    if index.__class__.__name__ == "Index":
+        index = index.value
+    return index
+
+
+def _strip_prefix(label):
+    for prefix in ("save_", "restore_"):
+        if label.startswith(prefix):
+            return label[len(prefix):]
+    return label if label else UNKNOWN
+
+
+def iter_functions(tree):
+    """Every function in a module tree (methods and nested defs too)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -3,30 +3,47 @@
 import json
 
 
-def render_text(violations):
+def rule_counts(violations):
+    """Per-rule finding counts, sorted by code."""
+    by_rule = {}
+    for violation in violations:
+        by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+    return dict(sorted(by_rule.items()))
+
+
+def render_statistics(violations):
+    """The ``--statistics`` block: one ``count  CODE`` line per rule."""
+    counts = rule_counts(violations)
+    if not counts:
+        return "0 findings"
+    lines = ["%6d  %s" % (count, code) for code, count in counts.items()]
+    lines.append("%6d  total" % len(violations))
+    return "\n".join(lines)
+
+
+def render_text(violations, statistics=False):
     """``file:line:col RULE message`` per finding, plus a summary line."""
     lines = [violation.format() for violation in violations]
     if violations:
-        by_rule = {}
-        for violation in violations:
-            by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
-        summary = ", ".join("%s: %d" % item for item in sorted(by_rule.items()))
+        summary = ", ".join("%s: %d" % item for item in rule_counts(violations).items())
         lines.append("")
         lines.append("%d finding%s (%s)" % (len(violations), "s" if len(violations) != 1 else "", summary))
     else:
         lines.append("clean: no model-integrity findings")
+    if statistics:
+        lines.append("")
+        lines.append(render_statistics(violations))
     return "\n".join(lines)
 
 
-def render_json(violations):
-    return json.dumps(
-        {
-            "count": len(violations),
-            "violations": [violation.as_dict() for violation in violations],
-        },
-        indent=2,
-        sort_keys=True,
-    )
+def render_json(violations, statistics=False):
+    document = {
+        "count": len(violations),
+        "violations": [violation.as_dict() for violation in violations],
+    }
+    if statistics:
+        document["statistics"] = rule_counts(violations)
+    return json.dumps(document, indent=2, sort_keys=True)
 
 
 RENDERERS = {"text": render_text, "json": render_json}

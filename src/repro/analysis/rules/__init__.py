@@ -6,31 +6,52 @@ from repro.analysis.rules.cal001 import CalibrationLeakage
 from repro.analysis.rules.cov001 import CostCoverage
 from repro.analysis.rules.des001 import DroppedGenerator
 from repro.analysis.rules.det001 import Determinism
+from repro.analysis.rules.flw001 import BranchCostDrift
+from repro.analysis.rules.sym001 import PathSymmetry
+from repro.analysis.rules.sym002 import TrapPairing
 
-#: every registered rule, in reporting order
+#: every registered rule, in reporting order (flow tier last)
 ALL_RULES = (
     CalibrationLeakage(),
     Determinism(),
     DroppedGenerator(),
     CostCoverage(),
     RawMagicAddress(),
+    PathSymmetry(),
+    TrapPairing(),
+    BranchCostDrift(),
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
 
 
-def active_rules(config, select=None):
-    """Resolve the rule set: CLI ``select`` overrides config ``select``."""
-    codes = select if select is not None else config.select
-    if codes is None:
-        return ALL_RULES
-    resolved = []
-    for code in codes:
-        code = code.upper()
-        if code not in RULES_BY_CODE:
-            raise KeyError("unknown lint rule %r (known: %s)" % (code, ", ".join(sorted(RULES_BY_CODE))))
-        resolved.append(RULES_BY_CODE[code])
-    return tuple(resolved)
+def active_rules(config, select=None, flow=False):
+    """Resolve the rule set.
+
+    An explicit ``select`` (CLI) is exact: it runs precisely those rules,
+    flow tier included.  Otherwise the config's ``select`` (or the full
+    registry) applies, with flow-tier rules filtered out unless
+    ``flow=True`` — that is what lets ``[tool.repro-lint]`` list every
+    code while plain ``repro lint`` stays cheap.
+    """
+    if select is not None:
+        return tuple(_resolve(code) for code in select)
+    if config.select is None:
+        rules = ALL_RULES
+    else:
+        rules = tuple(_resolve(code) for code in config.select)
+    if flow:
+        return rules
+    return tuple(rule for rule in rules if rule.tier != "flow")
+
+
+def _resolve(code):
+    code = code.upper()
+    if code not in RULES_BY_CODE:
+        raise KeyError(
+            "unknown lint rule %r (known: %s)" % (code, ", ".join(sorted(RULES_BY_CODE)))
+        )
+    return RULES_BY_CODE[code]
 
 
 __all__ = ["ALL_RULES", "RULES_BY_CODE", "Rule", "active_rules"]

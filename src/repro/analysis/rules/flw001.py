@@ -1,0 +1,67 @@
+"""FLW001: a cost charged on only one branch of structurally equal arms.
+
+The model layers are full of paired ``if``/``else`` arms that do the
+same architectural work for two platforms or two states — trap on ARM
+vs vmexit on x86, running vs parked delivery.  Copy-paste drift shows
+up as one arm charging cycles (``pcpu.op``) while its structural twin
+charges nothing, which skews exactly one side of a comparison table.
+
+Detection: for each ``if`` with both arms, compare the arms' statement
+shapes *after stripping bare cost-op statements*.  Equal, non-empty
+shapes mean the arms do the same structural work; if exactly one arm
+carries zero cost events, the other almost certainly lost (or never
+got) its charge.  Arms with different shapes, or where both/neither
+charge, are out of scope — asymmetric work is the common, honest case.
+"""
+
+import ast
+
+from repro.analysis.flow import Extractor, iter_functions
+from repro.analysis.flow.effects import COST, _iter_shallow
+from repro.analysis.rules.base import Rule
+
+
+def _arm_profile(extractor, stmts):
+    """(stripped shape tuple, number of cost-charging statements)."""
+    shape, costs = [], 0
+    for stmt in stmts:
+        charges = any(e.kind == COST for e in extractor.effects(stmt))
+        if charges:
+            costs += 1
+        if charges and isinstance(stmt, ast.Expr):
+            continue  # a bare `yield pcpu.op(...)` — cost, not structure
+        shape.append(type(stmt).__name__)
+    return tuple(shape), costs
+
+
+class BranchCostDrift(Rule):
+    code = "FLW001"
+    name = "branch-cost-drift"
+    tier = "flow"
+    description = (
+        "structurally equal if/else arms must both charge cycles (or neither)"
+    )
+
+    def check(self, project, config):
+        for module in project.in_paths(config.paths_for(self.code)):
+            for func in iter_functions(module.tree):
+                extractor = Extractor(func)
+                for node in _iter_shallow(func):
+                    if isinstance(node, ast.If) and node.orelse:
+                        yield from self._check_if(module, extractor, node)
+
+    def _check_if(self, module, extractor, node):
+        then_shape, then_costs = _arm_profile(extractor, node.body)
+        else_shape, else_costs = _arm_profile(extractor, node.orelse)
+        if not then_shape or then_shape != else_shape:
+            return
+        if (then_costs == 0) == (else_costs == 0):
+            return  # both charge or neither does
+        missing = "if-arm" if then_costs == 0 else "else-arm"
+        charged = "else-arm" if then_costs == 0 else "if-arm"
+        yield module.violation(
+            node,
+            self.code,
+            "branches do the same structural work but only the %s charges "
+            "cycles; the %s looks like cost drift" % (charged, missing),
+        )

@@ -1,0 +1,121 @@
+"""SYM001: register-class saves and restores must balance on every path.
+
+The paper's Table III attributes world-switch cost to the register
+classes each transition moves (GP, FP, EL1 sysregs, VGIC, timer, EL2
+shadow state).  The model stays faithful only if every function that
+*saves* a class also *restores* it on every way out — otherwise some
+path silently leaks architectural state and the composed operations
+drift from the table.
+
+Two independent layers are checked:
+
+* **costed ops** — ``pcpu.op(..., "save")`` / ``pcpu.op(..., "restore")``
+  pairs, matched by register-class token (see
+  :mod:`repro.analysis.flow.effects`);
+* **context-image moves** — ``arch.save_context(...)`` /
+  ``arch.load_context(...)`` call counts.
+
+A function that is one-sided in either layer (saves with no restores
+anywhere, or vice versa) gets a single violation on its ``def`` line:
+that shape is either a bug or an intentional *switch half*
+(``split_mode_exit`` saves; ``split_mode_enter`` restores), and halves
+are expected to carry a suppression naming the paper section that
+justifies them.  A function with both sides is checked path-by-path:
+every acyclic path must balance each layer.
+"""
+
+from collections import Counter
+
+from repro.analysis.flow import Extractor, build_cfg, iter_functions
+from repro.analysis.flow.effects import CTX_LOAD, CTX_SAVE, RESTORE_OP, SAVE_OP
+from repro.analysis.rules.base import Rule
+
+
+class PathSymmetry(Rule):
+    code = "SYM001"
+    name = "path-symmetry"
+    tier = "flow"
+    description = (
+        "register-class saves and restores must balance on every acyclic path"
+    )
+
+    def check(self, project, config):
+        max_paths = config.flow_max_paths
+        for module in project.in_paths(config.paths_for(self.code)):
+            for func in iter_functions(module.tree):
+                yield from self._check_function(module, func, max_paths)
+
+    def _check_function(self, module, func, max_paths):
+        extractor = Extractor(func)
+        cfg = build_cfg(func)
+        kinds = set()
+        for node in cfg.nodes:
+            if node.kind == "stmt":
+                kinds.update(e.kind for e in extractor.effects(node.stmt))
+
+        one_sided = []
+        if SAVE_OP in kinds and RESTORE_OP not in kinds:
+            one_sided.append("costed register-class saves but no restores")
+        elif RESTORE_OP in kinds and SAVE_OP not in kinds:
+            one_sided.append("costed register-class restores but no saves")
+        if CTX_SAVE in kinds and CTX_LOAD not in kinds:
+            one_sided.append("save_context with no load_context")
+        elif CTX_LOAD in kinds and CTX_SAVE not in kinds:
+            one_sided.append("load_context with no save_context")
+        if one_sided:
+            yield module.violation(
+                func,
+                self.code,
+                "'%s' has %s: a one-sided switch half must be paired or "
+                "suppressed with its paper-grounded reason" % (func.name, "; ".join(one_sided)),
+            )
+            return
+
+        check_ops = SAVE_OP in kinds  # both sides present (see above)
+        check_ctx = CTX_SAVE in kinds
+        if not (check_ops or check_ctx):
+            return
+        seen = set()
+        for path in cfg.iter_paths(max_paths):
+            saves, restores = Counter(), Counter()
+            ctx_saves = ctx_loads = 0
+            first_line = {}
+            for node in path.nodes:
+                for effect in extractor.effects(node.stmt):
+                    if effect.kind == SAVE_OP:
+                        saves[effect.token] += 1
+                        first_line.setdefault(("s", effect.token), effect.line)
+                    elif effect.kind == RESTORE_OP:
+                        restores[effect.token] += 1
+                        first_line.setdefault(("r", effect.token), effect.line)
+                    elif effect.kind == CTX_SAVE:
+                        ctx_saves += 1
+                        first_line.setdefault("ctx", effect.line)
+                    elif effect.kind == CTX_LOAD:
+                        ctx_loads += 1
+                        first_line.setdefault("ctx", effect.line)
+            if check_ops and saves != restores:
+                for token in sorted(
+                    set(saves) | set(restores), key=lambda t: str(t)
+                ):
+                    if saves[token] == restores[token]:
+                        continue
+                    side = "s" if saves[token] > restores[token] else "r"
+                    line = first_line.get((side, token), func.lineno)
+                    message = (
+                        "register class '%s' is saved %d time(s) but restored "
+                        "%d time(s) on a path through '%s'"
+                        % (token, saves[token], restores[token], func.name)
+                    )
+                    if (line, message) not in seen:
+                        seen.add((line, message))
+                        yield module.violation(line, self.code, message)
+            if check_ctx and ctx_saves != ctx_loads:
+                line = first_line.get("ctx", func.lineno)
+                message = (
+                    "context image saved %d time(s) but loaded %d time(s) "
+                    "on a path through '%s'" % (ctx_saves, ctx_loads, func.name)
+                )
+                if (line, message) not in seen:
+                    seen.add((line, message))
+                    yield module.violation(line, self.code, message)

@@ -1,0 +1,83 @@
+"""SYM002: trap entry/exit and Stage-2 toggle pairing (lockdep-style).
+
+A split-mode world switch traps to EL2 (``trap_to_el2``) and must
+``eret`` back out; an x86 transition pairs ``vmexit`` with ``vmentry``;
+and any path that disables Stage-2 translation
+(``disable_virt_features``) must re-enable it before handing the CPU
+back.  A path that returns, raises, or falls off the end *between* the
+pair leaves the modeled CPU stuck in hypervisor context — the
+simulation equivalent of lockdep's "lock held at return".
+
+Only functions containing **both** ends of a dimension are checked:
+dedicated halves (``_xen_entry`` traps in, ``_xen_return`` erets out)
+are legitimate composition units and stay out of scope — their pairing
+is SYM001's one-sidedness report, suppressed with a reason.  An exit
+with no recorded enter (the function was *called* in hypervisor
+context) clamps at depth zero rather than flagging.
+"""
+
+from repro.analysis.flow import Extractor, build_cfg, iter_functions
+from repro.analysis.flow.cfg import FALL, RAISE, RETURN
+from repro.analysis.flow.effects import TRAP_ENTER, TRAP_EXIT, VIRT_OFF, VIRT_ON
+from repro.analysis.rules.base import Rule
+
+#: (enter kind, exit kind, what the pair is)
+_DIMENSIONS = (
+    (TRAP_ENTER, TRAP_EXIT, "trap to hypervisor context"),
+    (VIRT_OFF, VIRT_ON, "Stage-2/virt-feature disable"),
+)
+
+
+def _path_end(path, func):
+    if path.terminator == RETURN:
+        return "returns at line %d" % path.escape_line
+    if path.terminator == RAISE:
+        return "raises at line %d" % path.escape_line
+    return "falls off the end of '%s'" % func.name
+
+
+class TrapPairing(Rule):
+    code = "SYM002"
+    name = "trap-pairing"
+    tier = "flow"
+    description = (
+        "trap entries and Stage-2 disables must be matched before any exit"
+    )
+
+    def check(self, project, config):
+        max_paths = config.flow_max_paths
+        for module in project.in_paths(config.paths_for(self.code)):
+            for func in iter_functions(module.tree):
+                yield from self._check_function(module, func, max_paths)
+
+    def _check_function(self, module, func, max_paths):
+        extractor = Extractor(func)
+        cfg = build_cfg(func)
+        kinds = set()
+        for node in cfg.nodes:
+            if node.kind == "stmt":
+                kinds.update(e.kind for e in extractor.effects(node.stmt))
+        dimensions = [
+            dim for dim in _DIMENSIONS if dim[0] in kinds and dim[1] in kinds
+        ]
+        if not dimensions:
+            return
+        seen = set()
+        for path in cfg.iter_paths(max_paths):
+            for enter_kind, exit_kind, label in dimensions:
+                pending = []  # lines of unmatched enters, innermost last
+                for node in path.nodes:
+                    for effect in extractor.effects(node.stmt):
+                        if effect.kind == enter_kind:
+                            pending.append(effect.line)
+                        elif effect.kind == exit_kind and pending:
+                            pending.pop()
+                for line in pending:
+                    message = "%s at line %d is never undone on a path that %s" % (
+                        label,
+                        line,
+                        _path_end(path, func),
+                    )
+                    if (line, message) not in seen:
+                        seen.add((line, message))
+                        yield module.violation(line, self.code, message)

@@ -81,6 +81,9 @@ class KvmHypervisor(Hypervisor):
 
     # --- benchmark setup helpers (zero-cost state installation) -------------
 
+    # repro-lint: ignore[SYM001] -- zero-cost benchmark setup: installs a
+    # guest image that was never live on this PCPU, so there is nothing
+    # to save (measured windows start after installation).
     def install_guest(self, vcpu):
         """Put ``vcpu`` in GUEST state on its pinned PCPU (no cost)."""
         pcpu = vcpu.pcpu
@@ -102,6 +105,9 @@ class KvmHypervisor(Hypervisor):
         vcpu.state = VcpuState.GUEST
         pcpu.current_context = vcpu
 
+    # repro-lint: ignore[SYM001] -- save half of the idle transition: the
+    # matching restore runs on the wake_enter path (_enter world switch)
+    # when the blocked VCPU thread is next scheduled.
     def park_vcpu(self, vcpu):
         """Model the VM idling: WFI -> the VCPU thread blocks in the host."""
         pcpu = vcpu.pcpu
@@ -290,6 +296,10 @@ class KvmHypervisor(Hypervisor):
         dst.queue_virq(virq)
         self.stats["virqs_injected"] += 1
         yield pcpu.op("virq_set_pending", costs.virq_set_pending, "emul")
+        # repro-lint: ignore[FLW001] -- intentional asymmetry: waking a
+        # blocked VCPU thread charges the host scheduler (sched_wakeup,
+        # Table V), while kicking a running one costs the sender nothing
+        # -- the destination PCPU's IPI handler pays for the injection.
         if dst.state == VcpuState.GUEST:
             self.machine.ipi.send(
                 dst.pcpu, HOST_IPI_IRQ, {"kind": "inject_running", "vcpu": dst, "done": done}

@@ -1,0 +1,10 @@
+"""SimSan: a simulation-time sanitizer for the deterministic DES.
+
+See :mod:`repro.sanitize.simsan` for the detector design, and
+``python -m repro sanitize --help`` for the CLI.
+"""
+
+from repro.sanitize.runner import SCHEMA, TARGETS, sanitize_cell, sanitize_target
+from repro.sanitize.simsan import SimSan
+
+__all__ = ["SCHEMA", "TARGETS", "SimSan", "sanitize_cell", "sanitize_target"]

@@ -1,0 +1,62 @@
+"""Render a sanitize report as text or JSON."""
+
+import json
+
+
+def render_json(report):
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def _race_lines(entry):
+    lines = []
+    for race in entry["races"]["tie_order"]:
+        divergence = race.get("divergence") or {}
+        lines.append(
+            "      tie-order race: %s (first divergence at fire %s, t=%s)"
+            % (race["detail"], divergence.get("fire_index"), divergence.get("time"))
+        )
+        for side in ("fifo", "inverted"):
+            info = divergence.get(side) or {}
+            sites = info.get("scheduled_at") or ["<unknown>"]
+            lines.append("        %s side scheduled at %s" % (side, " <- ".join(sites)))
+    for race in entry["races"]["multi_writer"]:
+        lines.append(
+            "      multi-writer race: %s.%s at t=%d (%d writers)"
+            % (race["owner"], race["attr"], race["time"], len(race["writers"]))
+        )
+        for writer in race["writers"]:
+            sites = writer["site"] or ("<unknown>",)
+            lines.append(
+                "        seq %s wrote %s from %s"
+                % (writer["fire_seq"], writer["value"], " <- ".join(sites))
+            )
+    return lines
+
+
+def render_text(report):
+    lines = [
+        "%s  target=%s  cells=%d"
+        % (report["schema"], report["target"], report["summary"]["cells"])
+    ]
+    for entry in report["cells"]:
+        tie = len(entry["races"]["tie_order"])
+        writers = len(entry["races"]["multi_writer"])
+        status = "clean" if not tie and not writers else (
+            "RACE (%d tie-order, %d multi-writer)" % (tie, writers)
+        )
+        lines.append(
+            "  %-40s events=%-7d ties=%-5d %s"
+            % (entry["cell"], entry["schedule_events"], entry["tie_groups"], status)
+        )
+        lines.extend(_race_lines(entry))
+    summary = report["summary"]
+    lines.append(
+        "summary: %d cells, %d tie-order races, %d multi-writer races -- %s"
+        % (
+            summary["cells"],
+            summary["tie_order_races"],
+            summary["multi_writer_races"],
+            "clean" if summary["clean"] else "RACY",
+        )
+    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,230 @@
+"""SimSan: the simulation-time sanitizer core.
+
+The determinism contract of the whole suite rests on one line in
+:class:`repro.sim.engine.Engine`: events at equal simulated time fire in
+scheduling order (FIFO by sequence number).  That makes results
+*reproducible*, but it can also *mask* model bugs — two callbacks that
+race at the same cycle always resolve the same way, so an
+order-dependent payload looks stable right up until an innocent
+refactor reorders two ``schedule`` calls and every golden hash moves.
+
+SimSan makes such latent races observable:
+
+* **Schedule provenance** — every scheduled event is tagged with the
+  ``(engine, seq)`` it was pushed under and the source site that pushed
+  it (a bounded ``sys._getframe`` walk, cheap enough to run over the
+  full suite).
+* **Tie-break inversion** — installed with ``order="inverted"`` the
+  sanitizer supplies ``-seq`` as the heap's equal-time ordering key, so
+  ties fire LIFO instead of FIFO while everything else is untouched.
+  A cell whose payload hash changes under inversion has a tie-order
+  race; the diff pinpoints the first fire where the schedules diverge,
+  reported with *both* schedule sites.
+* **Multi-writer tracking** — :mod:`repro.sanitize.writes` routes
+  writes to shared hypervisor state (``Vcpu.state``,
+  ``Pcpu.current_context``, VIRQ queues) through :meth:`record_write`.
+  Two writes to the same field of the same object at the same simulated
+  time from *different* fire contexts, with different values, mean the
+  final value depends on tie order — flagged with both writer sites.
+
+Instrumentation counts are kept in a real
+:class:`repro.obs.metrics.MetricsRegistry` so sanitizer output rides
+the same snapshot/export shapes as the rest of the observability layer.
+"""
+
+import sys
+
+from repro.obs.metrics import MetricsRegistry
+
+#: tie-break orders a SimSan instance can impose
+FIFO, INVERTED = "fifo", "inverted"
+
+#: source files whose frames are skipped when attributing a schedule or
+#: write site (the mechanism, not the cause)
+_MECHANISM_FILES = ("engine.py", "simsan.py", "writes.py", "process.py")
+
+
+def call_site(depth=3):
+    """The nearest model frames below the sanitizer/engine machinery.
+
+    Returns a tuple of ``"file.py:line:function"`` strings, innermost
+    first.  A bounded ``sys._getframe`` walk — no traceback objects, no
+    line-source loading — keeps this cheap enough for every schedule.
+    """
+    frames = []
+    try:
+        frame = sys._getframe(2)
+    except ValueError:  # pragma: no cover - shallow interpreter stack
+        return ()
+    while frame is not None and len(frames) < depth:
+        code = frame.f_code
+        filename = code.co_filename.rsplit("/", 1)[-1]
+        if filename not in _MECHANISM_FILES:
+            frames.append("%s:%d:%s" % (filename, frame.f_lineno, code.co_name))
+        frame = frame.f_back
+    return tuple(frames)
+
+
+class WriteRecord:
+    """One tracked write to shared state."""
+
+    __slots__ = ("engine_index", "time", "fire_seq", "owner", "attr", "value", "site")
+
+    def __init__(self, engine_index, time, fire_seq, owner, attr, value, site):
+        self.engine_index = engine_index
+        self.time = time
+        #: seq of the event being fired when the write happened (0 when
+        #: written outside the event loop, e.g. during machine build)
+        self.fire_seq = fire_seq
+        self.owner = owner
+        self.attr = attr
+        self.value = value
+        self.site = site
+
+    def as_dict(self):
+        return {
+            "fire_seq": self.fire_seq,
+            "value": self.value,
+            "site": list(self.site),
+        }
+
+
+class SimSan:
+    """One sanitizer pass: install on ``Engine.sanitizer``, run, inspect.
+
+    A SimSan instance watches *every* engine created while installed —
+    a cell builds several machines (native testbed, VM testbeds), and
+    each engine gets a stable index in creation/first-schedule order so
+    the fifo and inverted runs of the same cell line up exactly.
+    """
+
+    def __init__(self, order=FIFO):
+        if order not in (FIFO, INVERTED):
+            raise ValueError("order must be %r or %r" % (FIFO, INVERTED))
+        self.order = order
+        self._engines = []  # keep refs so id() values stay unique
+        self._engine_index = {}  # id(engine) -> index
+        #: (engine_index, seq) -> schedule site tuple
+        self.provenance = {}
+        #: fire order: list of (engine_index, time, seq)
+        self.trace = []
+        self.writes = []
+        #: the (engine_index, time, seq) currently firing
+        self._current = None
+        self.metrics = MetricsRegistry()
+        self._scheduled = self.metrics.counter("sanitize.schedule_events")
+        self._fired = self.metrics.counter("sanitize.fires")
+        self._ties = self.metrics.counter("sanitize.tie_groups")
+        self._writes_seen = self.metrics.counter("sanitize.writes")
+        self._last_fire = None  # (engine_index, time) of the previous fire
+        self._last_was_tie = False
+
+    # -- engine hooks (see Engine.schedule / Engine.run) -----------------
+
+    def engine_index(self, engine):
+        index = self._engine_index.get(id(engine))
+        if index is None:
+            index = len(self._engines)
+            self._engines.append(engine)
+            self._engine_index[id(engine)] = index
+        return index
+
+    def on_schedule(self, engine, time, seq, callback):
+        """Record provenance; return the heap's equal-time ordering key."""
+        self.provenance[(self.engine_index(engine), seq)] = call_site()
+        self._scheduled.inc()
+        return seq if self.order == FIFO else -seq
+
+    def on_fire(self, engine, time, key):
+        seq = key if self.order == FIFO else -key
+        index = self.engine_index(engine)
+        self.trace.append((index, time, seq))
+        self._fired.inc()
+        here = (index, time)
+        if here == self._last_fire:
+            if not self._last_was_tie:
+                self._ties.inc()  # count groups, not members
+            self._last_was_tie = True
+        else:
+            self._last_was_tie = False
+        self._last_fire = here
+        self._current = (index, time, seq)
+
+    # -- write tracking (see repro.sanitize.writes) ----------------------
+
+    def record_write(self, engine, owner, attr, value):
+        index = self.engine_index(engine)
+        if self._current is not None and self._current[0] == index:
+            fire_seq = self._current[2] if self._current[1] == engine.now else 0
+        else:
+            fire_seq = 0
+        self.writes.append(
+            WriteRecord(index, engine.now, fire_seq, owner, attr, value, call_site())
+        )
+        self._writes_seen.inc()
+
+    # -- analysis --------------------------------------------------------
+
+    def site_of(self, fire):
+        """Schedule site for one ``(engine_index, time, seq)`` trace entry."""
+        return self.provenance.get((fire[0], fire[2]), ())
+
+    def tie_groups(self):
+        return self._ties.value
+
+    def multi_writer_races(self):
+        """Same object+field written at one simulated time from two
+        different fire contexts whose *final* values differ: the
+        surviving value depends on tie order.  Intermediate writes
+        within one fire are sequential code and never racy, so only the
+        last write per fire context is compared."""
+        groups = {}
+        for record in self.writes:
+            key = (record.engine_index, record.time, record.owner, record.attr)
+            groups.setdefault(key, []).append(record)
+        races = []
+        for key, records in sorted(groups.items()):
+            last_by_fire = {}
+            for record in records:  # append order = program order
+                last_by_fire[record.fire_seq] = record
+            values = {record.value for record in last_by_fire.values()}
+            if len(last_by_fire) > 1 and len(values) > 1:
+                races.append(
+                    {
+                        "engine": key[0],
+                        "time": key[1],
+                        "owner": key[2],
+                        "attr": key[3],
+                        "writers": [record.as_dict() for record in records],
+                    }
+                )
+        return races
+
+    def metrics_snapshot(self):
+        return {name: snap["value"] for name, snap in self.metrics.snapshot().items()}
+
+
+def first_divergence(fifo_san, inverted_san):
+    """Where the fifo and inverted fire orders first differ, with the
+    schedule provenance of both sides — the anchor of a tie-race report."""
+    for index, (a, b) in enumerate(zip(fifo_san.trace, inverted_san.trace)):
+        if a != b:
+            return {
+                "fire_index": index,
+                "engine": a[0],
+                "time": a[1],
+                "fifo": {"seq": a[2], "scheduled_at": list(fifo_san.site_of(a))},
+                "inverted": {
+                    "seq": b[2],
+                    "scheduled_at": list(inverted_san.site_of(b)),
+                },
+            }
+    if len(fifo_san.trace) != len(inverted_san.trace):
+        return {
+            "fire_index": min(len(fifo_san.trace), len(inverted_san.trace)),
+            "engine": None,
+            "time": None,
+            "fifo": {"seq": None, "scheduled_at": []},
+            "inverted": {"seq": None, "scheduled_at": []},
+        }
+    return None

@@ -1,0 +1,116 @@
+"""Write tracking for shared hypervisor state.
+
+The state that both sides of a cross-CPU operation touch — a VCPU's
+run state, the PCPU's current scheduling context, the software VIRQ
+queue — is exactly the state whose final value could silently depend
+on same-cycle tie order.  While a sanitizer pass is active these fields
+are shadowed by class-level data descriptors that forward every write
+to :meth:`repro.sanitize.simsan.SimSan.record_write` (value + writer
+site + firing event), then store the value under a mangled instance
+slot so behavior is unchanged.
+
+Installation is process-global but strictly scoped: ``install()``
+returns an uninstall callable, and :func:`tracking` wraps the pair in a
+context manager.  Instances created while tracking was active keep
+their mangled slots after uninstall, so tracking must bracket the whole
+life of a cell (the sanitize runner builds fresh testbeds inside the
+bracket and discards them before leaving it).
+"""
+
+import contextlib
+import re
+
+_ADDRESS_RE = re.compile(r" at 0x[0-9a-fA-F]+")
+
+
+def value_repr(value, limit=120):
+    """A deterministic, hashable rendering of a written value (memory
+    addresses stripped so reports stay byte-reproducible)."""
+    text = _ADDRESS_RE.sub("", repr(value))
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+class TrackedAttr:
+    """Data descriptor shadowing a plain instance attribute."""
+
+    def __init__(self, san, attr, engine_of, owner_of):
+        self.san = san
+        self.attr = attr
+        self.slot = "_simsan_" + attr
+        self.engine_of = engine_of
+        self.owner_of = owner_of
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        try:
+            return getattr(obj, self.slot)
+        except AttributeError:
+            raise AttributeError(self.attr)
+
+    def __set__(self, obj, value):
+        object.__setattr__(obj, self.slot, value)
+        engine = self.engine_of(obj)
+        if engine is not None:
+            self.san.record_write(
+                engine, self.owner_of(obj), self.attr, value_repr(value)
+            )
+
+
+def _vcpu_engine(vcpu):
+    pcpu = getattr(vcpu, "pcpu", None)
+    return pcpu.machine.engine if pcpu is not None else None
+
+
+def _vcpu_owner(vcpu):
+    vm = getattr(vcpu, "vm", None)
+    name = vm.name if vm is not None else "?"
+    return "%s.vcpu%d" % (name, getattr(vcpu, "index", -1))
+
+
+def _pcpu_engine(pcpu):
+    machine = getattr(pcpu, "machine", None)
+    return machine.engine if machine is not None else None
+
+
+def _pcpu_owner(pcpu):
+    return "pcpu%d" % getattr(pcpu, "index", -1)
+
+
+def install(san):
+    """Shadow the shared-state fields; returns the uninstall callable."""
+    from repro.hv.base import Vcpu
+    from repro.hw.platform import Pcpu
+
+    Vcpu.state = TrackedAttr(san, "state", _vcpu_engine, _vcpu_owner)
+    Pcpu.current_context = TrackedAttr(
+        san, "current_context", _pcpu_engine, _pcpu_owner
+    )
+
+    original_queue_virq = Vcpu.queue_virq
+
+    def queue_virq(self, virq):
+        engine = _vcpu_engine(self)
+        if engine is not None:
+            san.record_write(
+                engine, _vcpu_owner(self), "pending_virqs", "queue(%r)" % (virq,)
+            )
+        return original_queue_virq(self, virq)
+
+    Vcpu.queue_virq = queue_virq
+
+    def uninstall():
+        del Vcpu.state
+        del Pcpu.current_context
+        Vcpu.queue_virq = original_queue_virq
+
+    return uninstall
+
+
+@contextlib.contextmanager
+def tracking(san):
+    uninstall = install(san)
+    try:
+        yield san
+    finally:
+        uninstall()

@@ -1,0 +1,31 @@
+"""FLW001 fixtures: cost charged on only one of two equal-shaped arms."""
+
+
+def charged_one_arm(machine, vcpu, virq):
+    pcpu, costs = vcpu.pcpu, machine.costs
+    if vcpu.running:  # expect: FLW001
+        yield pcpu.op("virq_inject_lr", costs.virq_inject_lr, "vgic")
+        vcpu.vif.inject(virq)
+    else:
+        vcpu.vif.inject(virq)
+
+
+def both_arms_charged_stays_silent(machine, vcpu, virq):
+    pcpu, costs = vcpu.pcpu, machine.costs
+    if vcpu.running:
+        yield pcpu.op("virq_inject_lr", costs.virq_inject_lr, "vgic")
+        vcpu.vif.inject(virq)
+    else:
+        yield pcpu.op("virq_set_pending", costs.virq_set_pending, "emul")
+        vcpu.vif.inject(virq)
+
+
+def different_shapes_stay_silent(machine, vcpu, virq):
+    """Asymmetric work is the honest common case — out of scope."""
+    pcpu, costs = vcpu.pcpu, machine.costs
+    if vcpu.running:
+        yield pcpu.op("virq_inject_lr", costs.virq_inject_lr, "vgic")
+        vcpu.vif.inject(virq)
+    else:
+        vcpu.vif.clear_pending(virq)
+        vcpu.state = "blocked"

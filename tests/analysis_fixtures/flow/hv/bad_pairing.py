@@ -1,0 +1,61 @@
+"""SYM001/SYM002 fixtures: path-symmetry and pairing breakage.
+
+Parsed, never imported — undefined names (``RegClass``, ``EL1``) are
+fine; the flow rules only look at call shapes and cost expressions.
+"""
+
+
+def save_only_half(pcpu, costs):  # expect: SYM001
+    """One-sided: costed saves with no restore anywhere."""
+    yield pcpu.op("save_gp", costs.save[RegClass.GP], "save")
+
+
+# repro-lint: ignore[SYM001] -- deliberate enter half: the matching save
+# lives in save_only_half; this pair demonstrates the block-comment
+# suppression form the real world-switch halves use.
+def restore_only_half(pcpu, costs):
+    yield pcpu.op("restore_gp", costs.restore[RegClass.GP], "restore")
+
+
+def lost_restore_on_fast_path(machine, vcpu):
+    """Both sides present, but the fast path drops the VGIC restore."""
+    pcpu, costs = vcpu.pcpu, machine.costs
+    yield pcpu.op("save_vgic", costs.save[RegClass.VGIC], "save")  # expect: SYM001
+    yield pcpu.op("save_timer", costs.save[RegClass.TIMER], "save")
+    if vcpu.fast:
+        yield pcpu.op("restore_timer", costs.restore[RegClass.TIMER], "restore")
+        return
+    yield pcpu.op("restore_vgic", costs.restore[RegClass.VGIC], "restore")
+    yield pcpu.op("restore_timer", costs.restore[RegClass.TIMER], "restore")
+
+
+def early_return_in_trap(machine, vcpu):
+    """A path returns while still in EL2 hypervisor context."""
+    pcpu, costs = vcpu.pcpu, machine.costs
+    pcpu.arch.trap_to_el2("hypercall")  # expect: SYM002
+    yield pcpu.op("trap_to_el2", costs.trap_to_el2, "trap")
+    if vcpu.pending_abort:
+        return
+    pcpu.arch.eret(EL1)
+    yield pcpu.op("eret_to_guest", costs.eret_to_el1, "trap")
+
+
+def stage2_disable_leak(machine, vcpu):
+    """A raise path leaves Stage-2 translation disabled."""
+    arch = vcpu.pcpu.arch
+    arch.disable_virt_features()  # expect: SYM002
+    if machine.bad_state:
+        raise RuntimeError("fault while Stage-2 is off")
+    arch.enable_virt_features(vcpu.vm.vmid)
+
+
+def balanced_trap_stays_silent(machine, vcpu):
+    """Every path erets before leaving — no finding."""
+    pcpu, costs = vcpu.pcpu, machine.costs
+    pcpu.arch.trap_to_el2("ipi")
+    yield pcpu.op("trap_to_el2", costs.trap_to_el2, "trap")
+    if vcpu.pending:
+        pcpu.arch.eret(EL1)
+        return
+    yield pcpu.op("mmio_decode", costs.mmio_decode, "emul")
+    pcpu.arch.eret(EL1)

@@ -1,0 +1,81 @@
+"""CFG corner cases: try/finally, with, loops, generators, nested defs.
+
+Each function documents the graph shape it exercises; the clean ones
+matter as much as the markers — they prove the path enumeration does not
+overfire on the composition idioms the model layers actually use.
+"""
+
+
+def finally_restores_stays_silent(machine, vcpu):
+    """try/finally: the restore runs on the early-return path too."""
+    pcpu, costs = vcpu.pcpu, machine.costs
+    pcpu.arch.trap_to_el2("io")
+    yield pcpu.op("save_gp", costs.save[RegClass.GP], "save")
+    try:
+        if vcpu.aborted:
+            return
+        yield pcpu.op("mmio_decode", costs.mmio_decode, "emul")
+    finally:
+        yield pcpu.op("restore_gp", costs.restore[RegClass.GP], "restore")
+        pcpu.arch.eret(EL1)
+
+
+def handler_skips_restore(machine, vcpu):
+    """try/except: the handler path loses the restore."""
+    pcpu, costs = vcpu.pcpu, machine.costs
+    yield pcpu.op("save_gp", costs.save[RegClass.GP], "save")  # expect: SYM001
+    try:
+        yield pcpu.op("mmio_decode", costs.mmio_decode, "emul")
+        yield pcpu.op("restore_gp", costs.restore[RegClass.GP], "restore")
+    except HardwareFault:
+        vcpu.state = "parked"
+
+
+def with_block_stays_silent(machine, vcpu):
+    """with: body statements are ordinary path nodes."""
+    pcpu, costs = vcpu.pcpu, machine.costs
+    with machine.obs.spans.bound("switch"):
+        yield pcpu.op("save_fp", costs.save[RegClass.FP], "save")
+        yield pcpu.op("restore_fp", costs.restore[RegClass.FP], "restore")
+
+
+def early_return_in_loop(machine, vcpu, classes):
+    """A return from inside a for body skips the trailing restore."""
+    pcpu, costs = vcpu.pcpu, machine.costs
+    yield pcpu.op("save_vgic", costs.save[RegClass.VGIC], "save")  # expect: SYM001
+    for _reg_class in classes:
+        if vcpu.aborted:
+            return
+        yield pcpu.op("lr_sync", costs.mmio_decode, "emul")
+    yield pcpu.op("restore_vgic", costs.restore[RegClass.VGIC], "restore")
+
+
+def while_zero_iterations(machine, vcpu):
+    """while (unlike for) may run zero times — the restore can be skipped."""
+    pcpu, costs = vcpu.pcpu, machine.costs
+    yield pcpu.op("save_fp", costs.save[RegClass.FP], "save")  # expect: SYM001
+    while vcpu.pending_faults:
+        yield pcpu.op("restore_fp", costs.restore[RegClass.FP], "restore")
+
+
+def for_always_runs_stays_silent(machine, vcpu):
+    """for bodies run exactly once in the path abstraction: a save sweep
+    paired with a restore sweep over the same list is balanced."""
+    pcpu, costs = vcpu.pcpu, machine.costs
+    for reg_class in SWITCH_CLASSES:
+        yield pcpu.op("save_step", costs.save[reg_class], "save")
+    for reg_class in SWITCH_CLASSES:
+        yield pcpu.op("restore_step", costs.restore[reg_class], "restore")
+
+
+def nested_def_is_opaque(machine, vcpu):
+    """The outer function is balanced; the nested generator is analyzed
+    on its own and is one-sided."""
+    pcpu, costs = vcpu.pcpu, machine.costs
+
+    def deferred_save():  # expect: SYM001
+        yield pcpu.op("save_timer", costs.save[RegClass.TIMER], "save")
+
+    yield pcpu.op("save_el2", costs.save[RegClass.EL2], "save")
+    yield pcpu.op("restore_el2", costs.restore[RegClass.EL2], "restore")
+    machine.defer(deferred_save)

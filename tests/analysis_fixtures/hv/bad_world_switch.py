@@ -10,7 +10,7 @@ zero cycles are simulated, and the hypercall result silently loses the
 SWITCH_ORDER = ("gp", "fp", "el1_sys", "vgic", "timer")
 
 
-def save_reg_class(pcpu, costs, reg_class):
+def save_reg_class(pcpu, costs, reg_class):  # expect: SYM001
     """One register-class save — a costed simulation step (generator)."""
     yield pcpu.op("save_%s" % reg_class, costs.save[reg_class], "save")
 

@@ -1,0 +1,186 @@
+"""CFG builder unit tests: path enumeration over the corner cases."""
+
+import ast
+
+from repro.analysis.flow.cfg import FALL, RAISE, RETURN, build_cfg
+
+
+def paths_of(source, max_paths=2000):
+    func = ast.parse(source).body[0]
+    cfg = build_cfg(func)
+    return cfg, list(cfg.iter_paths(max_paths))
+
+
+def shapes(paths):
+    """Each path as (tuple of statement type names, terminator)."""
+    return sorted(
+        (tuple(type(n.stmt).__name__ for n in p.nodes), p.terminator)
+        for p in paths
+    )
+
+
+class TestBasicShapes:
+    def test_straight_line_falls_off_the_end(self):
+        _, paths = paths_of("def f():\n    a()\n    b()\n")
+        assert shapes(paths) == [(("Expr", "Expr"), FALL)]
+
+    def test_if_else_two_paths(self):
+        _, paths = paths_of(
+            "def f(c):\n"
+            "    if c:\n"
+            "        a()\n"
+            "    else:\n"
+            "        b()\n"
+            "    tail()\n"
+        )
+        assert shapes(paths) == [
+            (("If", "Expr", "Expr"), FALL),
+            (("If", "Expr", "Expr"), FALL),
+        ]
+
+    def test_early_return_records_escape_line(self):
+        _, paths = paths_of(
+            "def f(c):\n"
+            "    if c:\n"
+            "        return\n"
+            "    work()\n"
+        )
+        by_term = {p.terminator: p for p in paths}
+        assert set(by_term) == {RETURN, FALL}
+        assert by_term[RETURN].escape_line == 3
+
+    def test_raise_terminator(self):
+        _, paths = paths_of(
+            "def f(c):\n"
+            "    if c:\n"
+            "        raise ValueError('x')\n"
+            "    work()\n"
+        )
+        terms = sorted(p.terminator for p in paths)
+        assert terms == [FALL, RAISE]
+
+
+class TestLoops:
+    def test_for_body_runs_exactly_once(self):
+        _, paths = paths_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        body()\n"
+            "    tail()\n"
+        )
+        # no zero-iteration path for `for`
+        assert shapes(paths) == [(("For", "Expr", "Expr"), FALL)]
+
+    def test_while_has_zero_iteration_path(self):
+        _, paths = paths_of(
+            "def f(c):\n"
+            "    while c:\n"
+            "        body()\n"
+            "    tail()\n"
+        )
+        assert (("While", "Expr"), FALL) in shapes(paths)  # zero iterations
+        # one iteration: the head re-appears on the back edge before the
+        # loop-done edge is taken (the While node itself has no effects)
+        assert (("While", "Expr", "While", "Expr"), FALL) in shapes(paths)
+
+    def test_return_inside_loop(self):
+        _, paths = paths_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if bad(x):\n"
+            "            return\n"
+            "        body()\n"
+            "    tail()\n"
+        )
+        terms = sorted(p.terminator for p in paths)
+        assert terms == [FALL, RETURN]
+
+    def test_break_skips_tail_of_loop(self):
+        _, paths = paths_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if done(x):\n"
+            "            break\n"
+            "        body()\n"
+            "    tail()\n"
+        )
+        assert (("For", "If", "Break", "Expr"), FALL) in shapes(paths)
+
+    def test_continue_does_not_emit_phantom_paths(self):
+        _, paths = paths_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if skip(x):\n"
+            "            continue\n"
+            "        body()\n"
+            "    tail()\n"
+        )
+        # the continue path is another iteration, not a distinct exit
+        assert all(p.terminator == FALL for p in paths)
+
+
+class TestTryFinally:
+    def test_finally_spliced_into_return_path(self):
+        _, paths = paths_of(
+            "def f(c):\n"
+            "    try:\n"
+            "        if c:\n"
+            "            return\n"
+            "        work()\n"
+            "    finally:\n"
+            "        cleanup()\n"
+        )
+        return_paths = [p for p in paths if p.terminator == RETURN]
+        assert return_paths
+        for path in return_paths:
+            names = [type(n.stmt).__name__ for n in path.nodes]
+            # cleanup() runs after the return statement on the return path
+            assert names[-1] == "Expr"
+            assert path.nodes[-1].stmt.value.func.id == "cleanup"
+
+    def test_handler_entered_from_top_and_end_of_body(self):
+        _, paths = paths_of(
+            "def f():\n"
+            "    first()\n"
+            "    try:\n"
+            "        second()\n"
+            "    except ValueError:\n"
+            "        handle()\n"
+            "    tail()\n"
+        )
+        bodies = {
+            tuple(
+                n.stmt.value.func.id
+                for n in p.nodes
+                if type(n.stmt).__name__ == "Expr"
+            )
+            for p in paths
+        }
+        assert ("first", "second", "tail") in bodies  # no exception
+        assert ("first", "handle", "tail") in bodies  # failed immediately
+        assert ("first", "second", "handle", "tail") in bodies  # failed late
+
+    def test_with_body_is_traversed(self):
+        _, paths = paths_of(
+            "def f(res):\n"
+            "    with res:\n"
+            "        work()\n"
+        )
+        assert shapes(paths) == [(("With", "Expr"), FALL)]
+
+
+class TestBudget:
+    def test_truncation_flag(self):
+        # 12 sequential if/else pairs -> 2**12 paths, far over budget
+        body = "".join(
+            "    if c%d:\n        a()\n    else:\n        b()\n" % i
+            for i in range(12)
+        )
+        cfg, paths = paths_of("def f(**c):\n" + body, max_paths=100)
+        assert cfg.truncated
+        assert len(paths) == 100
+
+    def test_small_function_not_truncated(self):
+        cfg, paths = paths_of("def f():\n    a()\n")
+        assert not cfg.truncated
+        assert len(paths) == 1

@@ -1,0 +1,236 @@
+"""SimSan tests: hooks, detectors, write tracking, and the off-mode
+zero-cost guarantee.
+
+The hard invariant mirrors :mod:`tests.test_obs_invariance`: with
+``Engine.sanitizer`` left at its ``None`` default the engine must do no
+sanitizer bookkeeping at all, so simulation results are byte-identical
+to a tree that never heard of SimSan.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.core.microbench import MicrobenchmarkSuite
+from repro.core.testbed import build_testbed
+from repro.hv.base import Vcpu
+from repro.hw.platform import Pcpu
+from repro.sanitize import runner as sanitize_runner
+from repro.sanitize import selftest, writes
+from repro.sanitize.report import render_json, render_text
+from repro.sanitize.simsan import FIFO, INVERTED, SimSan, first_divergence
+from repro.sim.engine import Engine
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_always_restored():
+    """No test may leak an installed sanitizer into the rest of the run."""
+    assert Engine.sanitizer is None
+    yield
+    Engine.sanitizer = None
+
+
+def _install(order):
+    san = SimSan(order)
+    Engine.sanitizer = san
+    return san
+
+
+class TestEngineHooks:
+    def test_off_by_default(self):
+        assert Engine.sanitizer is None
+
+    def test_full_report_byte_identical_with_sanitizer_off(self):
+        # the same golden sha256 the observability layer is held to: the
+        # sanitizer hooks must cost nothing (and change nothing) when off
+        import hashlib
+
+        from repro.core import suite
+        from tests.test_obs_invariance import GOLDEN_FULL_REPORT_SHA256
+
+        text = suite.full_report()
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        assert digest == GOLDEN_FULL_REPORT_SHA256
+
+    def test_fifo_keeps_production_order(self):
+        san = _install(FIFO)
+        engine = Engine()
+        order = []
+        engine.schedule(5, lambda: order.append("a"))
+        engine.schedule(5, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b"]
+        assert [seq for _, _, seq in san.trace] == [1, 2]
+
+    def test_inverted_flips_equal_time_ties_only(self):
+        _install(INVERTED)
+        engine = Engine()
+        order = []
+        engine.schedule(5, lambda: order.append("a"))
+        engine.schedule(5, lambda: order.append("b"))
+        engine.schedule(9, lambda: order.append("later"))
+        engine.run()
+        # ties flip; the later event still fires later
+        assert order == ["b", "a", "later"]
+
+    def test_provenance_and_tie_groups(self):
+        san = _install(FIFO)
+        engine = Engine()
+        engine.schedule(5, lambda: None)
+        engine.schedule(5, lambda: None)
+        engine.schedule(9, lambda: None)
+        engine.run()
+        assert san.tie_groups() == 1
+        index = san.engine_index(engine)
+        assert (index, 1) in san.provenance
+        # the site walk lands in this test file, not the engine
+        assert any("test_sanitize.py" in frame for frame in san.provenance[(index, 1)])
+
+    def test_cycle_results_identical_under_sanitizer(self):
+        baseline = MicrobenchmarkSuite(build_testbed("kvm-arm")).run_all()
+        _install(FIFO)
+        try:
+            observed = MicrobenchmarkSuite(build_testbed("kvm-arm")).run_all()
+        finally:
+            Engine.sanitizer = None
+        assert observed == baseline
+
+
+class TestDetectors:
+    def test_first_divergence_reports_both_sites(self):
+        fifo = SimSan(FIFO)
+        inverted = SimSan(INVERTED)
+        for san in (fifo, inverted):
+            Engine.sanitizer = san
+            engine = Engine()
+            engine.schedule(10, lambda: None)
+            engine.schedule(10, lambda: None)
+            engine.run()
+            Engine.sanitizer = None
+        divergence = first_divergence(fifo, inverted)
+        assert divergence["time"] == 10
+        assert divergence["fifo"]["seq"] == 1
+        assert divergence["inverted"]["seq"] == 2
+        assert divergence["fifo"]["scheduled_at"]
+        assert divergence["inverted"]["scheduled_at"]
+
+    def test_identical_traces_have_no_divergence(self):
+        fifo = SimSan(FIFO)
+        fifo.trace = [(0, 5, 1), (0, 9, 2)]
+        other = SimSan(FIFO)
+        other.trace = list(fifo.trace)
+        assert first_divergence(fifo, other) is None
+
+    def test_multi_writer_requires_distinct_contexts_and_values(self):
+        san = SimSan(FIFO)
+        engine = Engine()
+        san.engine_index(engine)
+        # same fire context twice: sequential code, not a race
+        san._current = (0, 0, 7)
+        san.record_write(engine, "vm.vcpu0", "state", "GUEST")
+        san.record_write(engine, "vm.vcpu0", "state", "HOST")
+        assert san.multi_writer_races() == []
+        # different contexts, same value: order does not matter
+        san._current = (0, 0, 8)
+        san.record_write(engine, "vm.vcpu0", "state", "HOST")
+        assert san.multi_writer_races() == []
+        # different contexts, different values: the survivor is tie-bound
+        san.record_write(engine, "vm.vcpu0", "state", "BLOCKED")
+        races = san.multi_writer_races()
+        assert len(races) == 1
+        assert races[0]["attr"] == "state"
+        assert len(races[0]["writers"]) == 4
+
+
+class TestWriteTracking:
+    def test_install_is_reversible(self):
+        san = SimSan(FIFO)
+        original_queue_virq = Vcpu.queue_virq
+        uninstall = writes.install(san)
+        try:
+            assert isinstance(Vcpu.state, writes.TrackedAttr)
+            assert isinstance(Pcpu.current_context, writes.TrackedAttr)
+            assert Vcpu.queue_virq is not original_queue_virq
+        finally:
+            uninstall()
+        assert "state" not in vars(Vcpu)
+        assert "current_context" not in vars(Pcpu)
+        assert Vcpu.queue_virq is original_queue_virq
+
+    def test_testbed_writes_are_recorded(self):
+        san = _install(FIFO)
+        with writes.tracking(san):
+            testbed = build_testbed("kvm-arm")
+            results = MicrobenchmarkSuite(testbed).run_all()
+        assert results  # simulation unaffected
+        attrs = {record.attr for record in san.writes}
+        assert "state" in attrs
+        assert "current_context" in attrs
+        state_writes = [r for r in san.writes if r.attr == "state"]
+        assert any(r.fire_seq > 0 for r in state_writes)
+        assert all(r.site for r in state_writes)
+
+    def test_value_repr_strips_addresses(self):
+        class Thing:
+            pass
+
+        rendered = writes.value_repr(Thing())
+        assert "0x" not in rendered
+
+
+class TestRunner:
+    def test_selftest_tie_race_detected_and_clean_control_passes(self):
+        by_id = {
+            entry["cell"]: entry
+            for entry in (
+                sanitize_runner.sanitize_cell(cell) for cell in selftest.cells()
+            )
+        }
+        racy = by_id["selftest[tie-race]"]
+        assert racy["payload_sha256"] != racy["inverted_sha256"]
+        assert len(racy["races"]["tie_order"]) == 1
+        divergence = racy["races"]["tie_order"][0]["divergence"]
+        assert divergence["fifo"]["scheduled_at"]
+        assert divergence["inverted"]["scheduled_at"]
+        clean = by_id["selftest[clean]"]
+        assert clean["payload_sha256"] == clean["inverted_sha256"]
+        assert clean["races"]["tie_order"] == []
+
+    def test_real_cell_is_race_free_and_exercises_ties(self):
+        from repro.runner import cells
+
+        entry = sanitize_runner.sanitize_cell(cells.micro("kvm-arm"))
+        assert entry["payload_sha256"] == entry["inverted_sha256"]
+        assert entry["races"] == {"tie_order": [], "multi_writer": []}
+        # the invariant is only meaningful if ties actually occurred
+        assert entry["tie_groups"] > 0
+        assert entry["metrics"]["sanitize.writes"] > 0
+
+    def test_unknown_target_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            sanitize_runner.sanitize_target("nope")
+
+    def test_report_schema_validates(self, tmp_path):
+        report = sanitize_runner.sanitize_target("selftest")
+        path = tmp_path / "SANITIZE_selftest.json"
+        path.write_text(render_json(report))
+        validator = _load_validator()
+        assert validator.validate(str(path)) == []
+
+    def test_text_rendering_names_race_sites(self):
+        report = sanitize_runner.sanitize_target("selftest")
+        text = render_text(report)
+        assert "tie-order race" in text
+        assert "selftest[clean]" in text
+        assert "scheduled at" in text
+
+
+def _load_validator():
+    tools = pathlib.Path(__file__).parent.parent / "tools" / "validate_sanitize.py"
+    spec = importlib.util.spec_from_file_location("validate_sanitize", tools)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module

@@ -1,0 +1,59 @@
+"""``python -m repro sanitize`` end-to-end behavior."""
+
+import json
+
+import pytest
+
+from repro import cli as repro_cli
+from repro.sim.engine import Engine
+
+
+@pytest.fixture(autouse=True)
+def _no_sanitizer_leak():
+    yield
+    assert Engine.sanitizer is None, "CLI leaked an installed sanitizer"
+
+
+def test_selftest_exits_zero_when_detectors_behave(capsys):
+    # the seeded tie race MUST be flagged — that is the passing outcome
+    assert repro_cli.main(["sanitize", "selftest"]) == 0
+    out = capsys.readouterr().out
+    assert "RACE (1 tie-order" in out
+    assert "selftest[clean]" in out
+
+
+def test_real_target_clean_exits_zero(capsys):
+    assert repro_cli.main(["sanitize", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "summary: 1 cells, 0 tie-order races" in out
+    assert "-- clean" in out
+
+
+def test_json_format_and_output_file(tmp_path, capsys):
+    out_path = tmp_path / "SANITIZE_table3.json"
+    status = repro_cli.main(
+        ["sanitize", "table3", "--format", "json", "-o", str(out_path)]
+    )
+    assert status == 0
+    stdout = capsys.readouterr().out
+    document = json.loads(stdout)
+    assert document["schema"] == "repro-sanitize/1"
+    on_disk = json.loads(out_path.read_text())
+    assert on_disk == document
+
+
+def test_max_cells_bounds_the_sweep(capsys):
+    assert repro_cli.main(["sanitize", "suite", "--max-cells", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "cells=2" in out
+
+
+def test_no_write_tracking_flag(capsys):
+    assert repro_cli.main(["sanitize", "table3", "--no-write-tracking"]) == 0
+    out = capsys.readouterr().out
+    assert "0 multi-writer races" in out
+
+
+def test_unknown_target_rejected():
+    with pytest.raises(SystemExit):
+        repro_cli.main(["sanitize", "bogus"])

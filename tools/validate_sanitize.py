@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""CI schema smoke for SimSan sanitize reports.
+
+Checks the contract :mod:`repro.sanitize.runner` promises: a
+``repro-sanitize/1`` JSON document whose ``cells`` entries each carry
+both payload hashes (64-hex sha256), non-negative event/tie counts, a
+``races`` object with ``tie_order``/``multi_writer`` lists, and a
+``summary`` whose totals actually add up (``clean`` must agree with the
+race counts — a report claiming clean while listing races is itself a
+bug).
+
+Usage:
+    python tools/validate_sanitize.py SANITIZE_report.json [more ...]
+
+Exits 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import re
+import sys
+
+SCHEMA = "repro-sanitize/1"
+_SHA256_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+def _check_cell(path, index, cell, problems):
+    for key in ("cell", "payload_sha256", "inverted_sha256", "races"):
+        if key not in cell:
+            problems.append("%s: cell %d lacks %r" % (path, index, key))
+            return 0, 0
+    for key in ("payload_sha256", "inverted_sha256"):
+        if not _SHA256_RE.match(str(cell[key])):
+            problems.append(
+                "%s: cell %r %s=%r is not a sha256 hex digest"
+                % (path, cell["cell"], key, cell[key])
+            )
+    for key in ("schedule_events", "tie_groups"):
+        value = cell.get(key)
+        if not isinstance(value, int) or value < 0:
+            problems.append(
+                "%s: cell %r %s=%r is not a non-negative int"
+                % (path, cell["cell"], key, value)
+            )
+    races = cell["races"]
+    for key in ("tie_order", "multi_writer"):
+        if not isinstance(races.get(key), list):
+            problems.append(
+                "%s: cell %r races.%s missing or not a list"
+                % (path, cell["cell"], key)
+            )
+    tie = len(races.get("tie_order") or [])
+    writers = len(races.get("multi_writer") or [])
+    if tie and cell["payload_sha256"] == cell["inverted_sha256"]:
+        problems.append(
+            "%s: cell %r reports a tie-order race but identical hashes"
+            % (path, cell["cell"])
+        )
+    return tie, writers
+
+
+def validate(path):
+    """Return a list of problem strings (empty = valid)."""
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return ["cannot load %s: %s" % (path, exc)]
+    if document.get("schema") != SCHEMA:
+        return ["%s: schema is %r, expected %r" % (path, document.get("schema"), SCHEMA)]
+    cells = document.get("cells")
+    if not isinstance(cells, list) or not cells:
+        return ["%s: cells missing or empty" % path]
+    tie_total = writer_total = 0
+    for index, cell in enumerate(cells):
+        tie, writers = _check_cell(path, index, cell, problems)
+        tie_total += tie
+        writer_total += writers
+    summary = document.get("summary")
+    if not isinstance(summary, dict):
+        problems.append("%s: summary missing" % path)
+        return problems
+    expectations = (
+        ("cells", len(cells)),
+        ("tie_order_races", tie_total),
+        ("multi_writer_races", writer_total),
+        ("clean", tie_total == 0 and writer_total == 0),
+    )
+    for key, expected in expectations:
+        if summary.get(key) != expected:
+            problems.append(
+                "%s: summary.%s=%r disagrees with cells (expected %r)"
+                % (path, key, summary.get(key), expected)
+            )
+    return problems
+
+
+def main(argv):
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv:
+        problems = validate(path)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print("FAIL %s" % problem)
+        else:
+            print("OK   %s" % path)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
