@@ -42,6 +42,11 @@ DEFAULT_RULE_PATHS = {
     "SYM001": (),
     "SYM002": (),
     "FLW001": (),
+    # spec tier: the hypervisor models are what the committed path specs
+    # describe, in fixture trees and the real package alike.
+    "SPEC001": ("hv",),
+    "SPEC002": ("hv",),
+    "SPEC003": ("hv",),
 }
 
 
@@ -68,6 +73,10 @@ class LintConfig:
     #: flow rules: acyclic-path budget per function (beyond it, the rest
     #: of the function's paths go unchecked rather than hanging the lint)
     flow_max_paths: int = 2000
+    #: SPEC001: directory of the committed golden path specs; None falls
+    #: back to ``<first scan root>/specs``.  Relative values in a
+    #: pyproject resolve against the pyproject's own directory.
+    spec_dir: str = None
 
     def paths_for(self, rule_code):
         return tuple(self.rule_paths.get(rule_code, ()))
@@ -89,6 +98,11 @@ class LintConfig:
             if hasattr(config, attr):
                 current = getattr(config, attr)
                 setattr(config, attr, tuple(value) if isinstance(current, tuple) else value)
+        if config.spec_dir is not None:
+            spec_path = pathlib.Path(config.spec_dir)
+            if not spec_path.is_absolute():
+                spec_path = pathlib.Path(pyproject_path).resolve().parent / spec_path
+            config.spec_dir = str(spec_path)
         return config
 
     @classmethod

@@ -97,8 +97,15 @@ class SourceModule:
         return False
 
     def is_suppressed(self, line, rule):
+        """Suppression entries match exactly or as a prefix, so
+        ``# repro-lint: ignore[SPEC]`` waives the whole spec tier."""
         rules = self.suppressions.get(line)
-        return rules is not None and ("*" in rules or rule.upper() in rules)
+        if rules is None:
+            return False
+        if "*" in rules:
+            return True
+        rule = rule.upper()
+        return any(rule == entry or rule.startswith(entry) for entry in rules)
 
     def violation(self, node_or_line, rule, message):
         """Build a :class:`Violation` anchored at an AST node (or line no)."""
@@ -115,9 +122,12 @@ class SourceModule:
 class Project:
     """Every scanned module, addressable by package-relative path."""
 
-    def __init__(self, modules):
+    def __init__(self, modules, roots=()):
         self.modules = sorted(modules, key=lambda m: m.relpath)
         self._by_relpath = {m.relpath: m for m in self.modules}
+        #: scan roots in input order — the first is where project-level
+        #: artifacts (the ``specs/`` goldens) are looked up by default
+        self.roots = tuple(roots)
 
     def module(self, relpath):
         return self._by_relpath.get(relpath)
@@ -155,7 +165,7 @@ def discover(paths):
     Returns ``(project, errors)`` where errors is a list of
     :class:`Violation` with rule ``E001`` for unparseable files.
     """
-    modules, errors = [], []
+    modules, errors, roots = [], [], []
     for raw in paths:
         path = pathlib.Path(raw)
         if path.is_dir():
@@ -167,6 +177,7 @@ def discover(paths):
         else:
             root = _package_root(path)
             files = [path]
+        roots.append(root)
         for file_path in files:
             relpath = _relativize(file_path.resolve(), root.resolve())
             try:
@@ -177,28 +188,30 @@ def discover(paths):
                 errors.append(
                     Violation(str(file_path), line, 0, "E001", "cannot parse: %s" % exc)
                 )
-    return Project(modules), errors
+    return Project(modules, roots=roots), errors
 
 
-def run_analysis(paths, config=None, select=None, flow=False, ignore=None):
+def run_analysis(paths, config=None, select=None, flow=False, ignore=None, spec=False):
     """Run the configured rules over ``paths``; returns sorted violations.
 
     ``config`` defaults to the built-in :class:`~repro.analysis.config.LintConfig`
     (no pyproject discovery — explicit is better for tests); ``select``
     optionally narrows to an iterable of rule codes, ``ignore`` drops
-    codes from whatever was resolved, and ``flow`` enables the CFG-based
-    flow tier (SYM001/SYM002/FLW001).
+    codes *or code prefixes* from whatever was resolved (raising
+    ``KeyError`` for entries matching nothing), ``flow`` enables the
+    CFG-based flow tier (SYM001/SYM002/FLW001) and ``spec`` the
+    path-spec tier (SPEC001/SPEC002/SPEC003).
     """
     from repro.analysis.config import LintConfig
-    from repro.analysis.rules import active_rules
+    from repro.analysis.rules import active_rules, expand_codes
 
     if config is None:
         config = LintConfig()
     project, errors = discover(paths)
     violations = list(errors)
-    rules = active_rules(config, select, flow=flow)
+    rules = active_rules(config, select, flow=flow, spec=spec)
     if ignore:
-        dropped = {code.upper() for code in ignore}
+        dropped = expand_codes(ignore)
         rules = tuple(rule for rule in rules if rule.code not in dropped)
     for rule in rules:
         for violation in rule.check(project, config):

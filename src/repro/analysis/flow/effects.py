@@ -17,6 +17,15 @@ vocabulary of architectural primitives the model layers are written in:
 Extraction is *per CFG node*: compound statements contribute only their
 header expressions (their bodies are separate nodes), and nested
 ``def``/``lambda`` bodies are opaque (they get their own analysis).
+
+The primary extraction product is the :class:`Step` record — the unit of
+the PathSpec IR (:mod:`repro.analysis.pathspec`).  A step is either an
+``op`` (a costed simulation step, with its label pattern, category,
+cost reference into the cost model and — for save/restore — a
+register-class token) or an ``arch`` transition (one of the effect
+kinds above).  :meth:`Extractor.effects` is derived from the step
+stream, so the flow rules and the spec extractor can never disagree
+about what a statement does.
 """
 
 import ast
@@ -43,8 +52,19 @@ _METHOD_EFFECTS = {
     "enable_virt_features": VIRT_ON,
 }
 
+ARCH_KINDS = frozenset(_METHOD_EFFECTS.values())
+
 #: token used when a save/restore's register class cannot be named
 UNKNOWN = "?"
+
+# how an op step's cost expression resolves into the cost model
+COST_FIELD = "field"  # costs.trap_to_el2
+COST_TABLE = "table"  # costs.save[reg_class] / costs.restore[...]
+COST_METHOD = "method"  # costs.copy_cycles(n)
+COST_LITERAL = "literal"  # a bare numeric literal (CAL001's business)
+COST_EXTERNAL = "external"  # anything the extractor cannot tie to costs
+
+COST_KINDS = (COST_FIELD, COST_TABLE, COST_METHOD, COST_LITERAL, COST_EXTERNAL)
 
 
 class Effect:
@@ -57,6 +77,53 @@ class Effect:
 
     def __repr__(self):
         return "Effect(%s, %r, line %d)" % (self.kind, self.token, self.line)
+
+
+class Step:
+    """One PathSpec IR step: a costed op or an architectural transition."""
+
+    __slots__ = (
+        "kind",  # "op" | "arch"
+        "arch",  # effect kind for arch steps, None for ops
+        "label",  # op label *pattern* ("trap_to_el2", "save_*", "*")
+        "category",  # op category ("trap", "save", ...; "" when unknown)
+        "cost",  # cost-model name the cost expression references, or None
+        "cost_kind",  # one of COST_KINDS (ops only)
+        "reg_class",  # register-class token for save/restore ops
+        "line",
+    )
+
+    def __init__(
+        self,
+        kind,
+        arch=None,
+        label=None,
+        category=None,
+        cost=None,
+        cost_kind=None,
+        reg_class=None,
+        line=0,
+    ):
+        self.kind = kind
+        self.arch = arch
+        self.label = label
+        self.category = category
+        self.cost = cost
+        self.cost_kind = cost_kind
+        self.reg_class = reg_class
+        self.line = line
+
+    def __repr__(self):
+        if self.kind == "arch":
+            return "Step(arch=%s, line %d)" % (self.arch, self.line)
+        return "Step(op=%r, category=%r, cost=%r/%s, class=%r, line %d)" % (
+            self.label,
+            self.category,
+            self.cost,
+            self.cost_kind,
+            self.reg_class,
+            self.line,
+        )
 
 
 def _dotted(node):
@@ -103,36 +170,126 @@ def _header_exprs(stmt):
     return None  # simple statement: walk it whole
 
 
+def _assign_pairs(assign):
+    """(target, value) pairs of an Assign, unpacking 1:1 tuple assigns."""
+    pairs = []
+    for target in assign.targets:
+        if (
+            isinstance(target, ast.Tuple)
+            and isinstance(assign.value, ast.Tuple)
+            and len(target.elts) == len(assign.value.elts)
+        ):
+            pairs.extend(zip(target.elts, assign.value.elts))
+        else:
+            pairs.append((target, assign.value))
+    return pairs
+
+
+_BLOCK_FIELDS = ("body", "orelse", "finalbody")
+
+
 class Extractor:
-    """Effect extraction for one function, with loop-variable resolution.
+    """Effect/step extraction for one function, with loop-variable
+    resolution.
 
     A save inside ``for reg_class in ARM_SWITCH_ORDER:`` is tokenized as
     the *iterable's* dotted name — the whole sweep is one token, so a
     save loop over ``ARM_SWITCH_ORDER`` pairs with a restore loop over
-    the same name and nothing else.
+    the same name and nothing else.  Bindings are resolved *lexically*:
+    each statement sees the last loop header that bound the name before
+    it in document order, so two sweeps reusing one loop variable over
+    different iterables keep distinct tokens.
     """
 
     def __init__(self, func):
         self.func = func
-        self._loop_bindings = {}
-        for node in ast.walk(func):
-            if isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(
-                node.target, ast.Name
-            ):
-                iter_name = _dotted(node.iter)
-                if iter_name is not None:
-                    self._loop_bindings[node.target.id] = iter_name
+        self._env_by_stmt = {}
+        self._collect_bindings(func.body, {})
+        self._bindings = {}
+        self._cost_aliases = set()
+        self._collect_cost_aliases(func)
         self._cache = {}
+        self._steps_cache = {}
+
+    def _collect_bindings(self, stmts, env):
+        """Thread loop-variable bindings through a block in document
+        order, snapshotting the environment each statement sees."""
+        for stmt in stmts:
+            if isinstance(stmt, (ast.For, ast.AsyncFor)) and isinstance(
+                stmt.target, ast.Name
+            ):
+                iter_name = _dotted(stmt.iter)
+                if iter_name is not None:
+                    env[stmt.target.id] = iter_name
+            self._env_by_stmt[id(stmt)] = dict(env)
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # opaque: nested defs get their own Extractor
+            for field in _BLOCK_FIELDS:
+                block = getattr(stmt, field, None)
+                if block:
+                    self._collect_bindings(block, env)
+            for handler in getattr(stmt, "handlers", ()):
+                self._collect_bindings(handler.body, env)
+
+    def _collect_cost_aliases(self, func):
+        """Local names aliasing the cost model (``c = self.costs``),
+        resolved to a fixpoint so chained aliases work too."""
+        changed = True
+        while changed:
+            changed = False
+            for node in _iter_shallow(func):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target, value in _assign_pairs(node):
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if target.id == "costs" or target.id in self._cost_aliases:
+                        continue
+                    if self._is_costs(value):
+                        self._cost_aliases.add(target.id)
+                        changed = True
+
+    def _is_costs(self, node):
+        """Does this expression denote the cost model object?"""
+        dotted = _dotted(node)
+        if dotted is None:
+            return False
+        return (
+            dotted == "costs"
+            or dotted.endswith(".costs")
+            or dotted in self._cost_aliases
+        )
 
     def effects(self, stmt):
         key = id(stmt)
         if key not in self._cache:
-            self._cache[key] = tuple(self._extract(stmt))
+            self._cache[key] = tuple(self._effects_from_steps(self.steps(stmt)))
         return self._cache[key]
+
+    def steps(self, stmt):
+        key = id(stmt)
+        if key not in self._steps_cache:
+            self._bindings = self._env_by_stmt.get(id(stmt), {})
+            self._steps_cache[key] = tuple(self._extract_steps(stmt))
+        return self._steps_cache[key]
 
     # -- extraction ----------------------------------------------------
 
-    def _extract(self, stmt):
+    @staticmethod
+    def _effects_from_steps(steps):
+        for step in steps:
+            if step.kind == "arch":
+                yield Effect(step.arch, line=step.line)
+                continue
+            yield Effect(COST, token=step.category, line=step.line)
+            if step.category == "save":
+                yield Effect(SAVE_OP, token=step.reg_class, line=step.line)
+            elif step.category == "restore":
+                yield Effect(RESTORE_OP, token=step.reg_class, line=step.line)
+
+    def _extract_steps(self, stmt):
         headers = _header_exprs(stmt)
         roots = [stmt] if headers is None else headers
         for root in roots:
@@ -143,18 +300,31 @@ class Extractor:
                     continue
                 name = node.func.attr
                 if name == "op":
-                    yield from self._op_effects(node)
+                    yield self._op_step(node)
                 elif name in _METHOD_EFFECTS:
-                    yield Effect(_METHOD_EFFECTS[name], line=node.lineno)
+                    yield Step(
+                        "arch", arch=_METHOD_EFFECTS[name], line=node.lineno
+                    )
 
-    def _op_effects(self, call):
+    def _op_step(self, call):
         category = self._category(call)
-        line = call.lineno
-        yield Effect(COST, token=category, line=line)
-        if category == "save":
-            yield Effect(SAVE_OP, token=self._reg_token(call), line=line)
-        elif category == "restore":
-            yield Effect(RESTORE_OP, token=self._reg_token(call), line=line)
+        label = _label_pattern(call.args[0]) if call.args else "*"
+        if len(call.args) >= 2:
+            cost, cost_kind = self._cost_ref(call.args[1])
+        else:
+            cost, cost_kind = None, COST_EXTERNAL
+        reg_class = None
+        if category in ("save", "restore"):
+            reg_class = self._reg_token(call)
+        return Step(
+            "op",
+            label=label,
+            category=category,
+            cost=cost,
+            cost_kind=cost_kind,
+            reg_class=reg_class,
+            line=call.lineno,
+        )
 
     @staticmethod
     def _category(call):
@@ -166,7 +336,47 @@ class Extractor:
             if keyword.arg == "category" and isinstance(keyword.value, ast.Constant):
                 if isinstance(keyword.value.value, str):
                     return keyword.value.value
-        return ""
+        return UNKNOWN
+
+    def _cost_ref(self, node):
+        """Resolve an op's cost expression to ``(name, kind)``.
+
+        ``name`` is the cost-model attribute the expression charges
+        (``"save"``/``"restore"`` for the sweep tables) or None when the
+        expression never touches the cost model.
+        """
+        if isinstance(node, ast.Subscript):
+            value = node.value
+            if isinstance(value, ast.Attribute) and value.attr in (
+                "save",
+                "restore",
+            ):
+                return value.attr, COST_TABLE
+            return self._cost_ref(node.value)
+        if isinstance(node, ast.Attribute):
+            if self._is_costs(node.value):
+                return node.attr, COST_FIELD
+            return None, COST_EXTERNAL
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and self._is_costs(func.value):
+                return func.attr, COST_METHOD
+            return None, COST_EXTERNAL
+        if isinstance(node, ast.BinOp):
+            left = self._cost_ref(node.left)
+            if left[0] is not None:
+                return left
+            right = self._cost_ref(node.right)
+            if right[0] is not None:
+                return right
+            if COST_LITERAL in (left[1], right[1]):
+                return None, COST_LITERAL
+            return None, COST_EXTERNAL
+        if isinstance(node, ast.Constant) and isinstance(
+            node.value, (int, float)
+        ) and not isinstance(node.value, bool):
+            return None, COST_LITERAL
+        return None, COST_EXTERNAL
 
     def _reg_token(self, call):
         """Name the register class a save/restore op moves."""
@@ -197,23 +407,46 @@ class Extractor:
     def _token_expr(self, node):
         """A register-class expression -> its token."""
         if isinstance(node, ast.Name):
-            return self._loop_bindings.get(node.id, UNKNOWN)
+            return self._bindings.get(node.id, UNKNOWN)
         if isinstance(node, ast.Attribute):
             # RegClass.GP -> "gp"; reg_class.name.lower() -> the root Name
             root = node
             while isinstance(root, ast.Attribute):
                 base = root.value
                 if isinstance(base, ast.Name):
-                    bound = self._loop_bindings.get(base.id)
+                    bound = self._bindings.get(base.id)
                     if bound is not None:
                         return bound
                 root = base
             return node.attr.lower()
         if isinstance(node, ast.Call):
             return self._token_expr(node.func)
+        if isinstance(node, ast.Subscript):
+            # order[i] -> resolve the container being indexed
+            return self._token_expr(node.value)
         if isinstance(node, ast.Constant) and isinstance(node.value, str):
             return _strip_prefix(node.value)
         return UNKNOWN
+
+
+def _label_pattern(label):
+    """An op label expression -> a stable pattern string.
+
+    Literal labels pass through; ``"save_%s" % x`` and the
+    ``_label("save", x)`` helper idiom collapse their dynamic tail to
+    ``*`` so the committed specs stay independent of runtime values.
+    """
+    if isinstance(label, ast.Constant) and isinstance(label.value, str):
+        return label.value
+    if isinstance(label, ast.BinOp) and isinstance(label.op, ast.Mod):
+        left = label.left
+        if isinstance(left, ast.Constant) and isinstance(left.value, str):
+            return left.value.replace("%s", "*")
+    if isinstance(label, ast.Call) and label.args:
+        first = label.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value + "_*"
+    return "*"
 
 
 def _subscript_index(sub):

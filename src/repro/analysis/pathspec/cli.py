@@ -1,0 +1,176 @@
+"""``python -m repro spec`` — extract, diff and show path specs.
+
+Usage:
+    python -m repro spec extract [paths...]      # (re)write specs/*.json
+    python -m repro spec diff [paths...]         # compare code vs committed
+    python -m repro spec show [--id SUBSTR] [paths...]
+
+``extract`` writes the golden documents the SPEC001 drift gate compares
+against; CI runs it and fails if the working tree dirties ``specs/``.
+``diff`` exits 1 when the committed specs disagree with the code.
+Exit status: 0 ok, 1 drift (diff only), 2 bad invocation.
+"""
+
+import argparse
+import os
+import sys
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import discover
+from repro.analysis.pathspec.extract import (
+    build_documents,
+    extract_tree,
+    load_committed,
+    render_document,
+    resolve_spec_dir,
+)
+
+
+def _default_path():
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro spec",
+        description="Extract, diff and inspect declarative world-switch path specs.",
+    )
+    parser.add_argument("action", choices=("extract", "diff", "show"))
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to extract from (default: the repro package)",
+    )
+    parser.add_argument(
+        "--spec-dir", metavar="DIR",
+        help="directory of the committed golden specs "
+             "(default: configured spec-dir, else <first scan root>/specs)",
+    )
+    parser.add_argument(
+        "--id", metavar="SUBSTRING", default=None,
+        help="show: only specs whose id contains SUBSTRING",
+    )
+    parser.add_argument(
+        "--config", metavar="PYPROJECT",
+        help="pyproject.toml with a [tool.repro-lint] block "
+             "(default: discovered upward from the first path)",
+    )
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore any pyproject.toml; use built-in defaults",
+    )
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    paths = args.paths or [_default_path()]
+    for path in paths:
+        if not os.path.exists(path):
+            print("repro spec: no such path: %s" % path, file=sys.stderr)
+            return 2
+    if args.no_config:
+        config = LintConfig()
+    elif args.config:
+        config = LintConfig.load(args.config)
+    else:
+        config = LintConfig.discover(paths[0])
+    project, errors = discover(paths)
+    if errors:
+        for error in errors:
+            print("repro spec: %s" % error.format(), file=sys.stderr)
+        return 2
+    specs = extract_tree(project, config)
+    if args.spec_dir:
+        spec_dir = resolve_spec_dir(
+            LintConfig(spec_dir=args.spec_dir), project
+        )
+    else:
+        spec_dir = resolve_spec_dir(config, project)
+
+    if args.action == "extract":
+        return _extract(specs, spec_dir)
+    if args.action == "diff":
+        return _diff(specs, spec_dir)
+    return _show(specs, args.id)
+
+
+def _extract(specs, spec_dir):
+    documents = build_documents(specs)
+    spec_dir.mkdir(parents=True, exist_ok=True)
+    total = 0
+    for group in sorted(documents):
+        path = spec_dir / (group + ".json")
+        path.write_text(render_document(documents[group]), encoding="utf-8")
+        count = len(documents[group]["specs"])
+        total += count
+        print("wrote %s (%d specs)" % (path, count))
+    if not documents:
+        print("no stepped functions in scope; nothing written")
+    else:
+        print("%d spec(s) across %d group(s)" % (total, len(documents)))
+    return 0
+
+
+def _diff(specs, spec_dir):
+    committed, _sources, problems = load_committed(spec_dir)
+    drifted = []
+    for path, message in problems:
+        drifted.append("malformed  %s: %s" % (path, message))
+    matched = set()
+    for spec in sorted(specs, key=lambda s: s.spec_id):
+        have = committed.get(spec.spec_id)
+        if have is None:
+            drifted.append("missing    %s" % spec.spec_id)
+            continue
+        matched.add(spec.spec_id)
+        if have != spec.serialize():
+            drifted.append("drifted    %s" % spec.spec_id)
+    for spec_id in sorted(set(committed) - matched):
+        drifted.append("stale      %s" % spec_id)
+    for line in drifted:
+        print(line)
+    if drifted:
+        print(
+            "%d difference(s) vs %s — run `python -m repro spec extract`"
+            % (len(drifted), spec_dir)
+        )
+        return 1
+    print("specs up to date (%d function(s) vs %s)" % (len(specs), spec_dir))
+    return 0
+
+
+def _show(specs, id_filter):
+    shown = 0
+    for spec in sorted(specs, key=lambda s: s.spec_id):
+        if id_filter and id_filter not in spec.spec_id:
+            continue
+        shown += 1
+        print(
+            "%s  (%d path(s)%s)"
+            % (spec.spec_id, len(spec.paths), ", truncated" if spec.truncated else "")
+        )
+        for index, path_doc in enumerate(spec.serialize()["paths"]):
+            print("  path %d [%s]:" % (index, path_doc["terminator"]))
+            for step in path_doc["steps"]:
+                if "arch" in step:
+                    print("    ~ %s" % step["arch"])
+                    continue
+                detail = "%s (%s)" % (step["cost"], step["cost_kind"])
+                if step["cost"] is None:
+                    detail = step["cost_kind"]
+                reg = (
+                    "  class=%s" % step["class"] if "class" in step else ""
+                )
+                print(
+                    "    op %-24s %-10s cost=%s%s"
+                    % (step["op"], step["category"], detail, reg)
+                )
+    if not shown:
+        print("no specs matched")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,372 @@
+"""Cross-hypervisor skeleton groups: Table III's claim, made checkable.
+
+The paper's Table III shows KVM and Xen ARM world switches as one
+trap → save → restore → eret skeleton whose members differ only in a
+small set of *named* extra steps (split-mode double trap, Xen's credit
+scheduler, VHE's collapsed register sweep).  Each :class:`Group` below
+declares one such skeleton: which function compositions share it, which
+cost-step differences are allowed, and the paper citation that licenses
+each difference.  SPEC003 recomputes the deltas from the extracted
+specs and flags anything the declarations don't explain.
+
+A member is a *composition*: the concatenated primary paths of its
+ordered function list (e.g. KVM's exit half followed by its enter half
+equals one full switch, comparable against Xen's single
+``_domain_switch``).  The signature compared is the ordered save/restore
+register-class token sweep plus the multiset of cost-model references;
+step order inside the skeleton is the save/restore sweep order, which is
+what Table III fixes.
+"""
+
+import collections
+
+Member = collections.namedtuple("Member", "name ids")
+Difference = collections.namedtuple("Difference", "member cost count cite")
+
+#: declared register-class sweeps for groups whose members legitimately
+#: move different state (split vs VHE); None means all members must
+#: agree with the first (reference) member.
+Classes = collections.namedtuple("Classes", "save restore cite")
+
+
+class Group:
+    __slots__ = ("name", "cite", "members", "differences", "classes")
+
+    def __init__(self, name, cite, members, differences, classes=None):
+        self.name = name
+        self.cite = cite
+        self.members = members
+        self.differences = differences
+        self.classes = classes  # {member name: Classes} or None
+
+
+GROUPS = (
+    Group(
+        name="arm-full-vm-switch",
+        cite="Table III: full ARM VM switch skeleton",
+        members=(
+            Member(
+                "kvm-split",
+                (
+                    "hv/kvm/world_switch.py::split_mode_exit",
+                    "hv/kvm/world_switch.py::split_mode_enter",
+                ),
+            ),
+            Member("xen", ("hv/xen/xen.py::XenHypervisor._domain_switch",)),
+        ),
+        differences=(
+            Difference(
+                "kvm-split",
+                "trap_to_el2",
+                1,
+                "split-mode KVM traps to EL2 twice per switch (Section III)",
+            ),
+            Difference(
+                "kvm-split",
+                "eret_to_el1",
+                1,
+                "split-mode KVM erets twice per switch (Section III)",
+            ),
+            Difference(
+                "kvm-split",
+                "virt_feature_toggle",
+                2,
+                "Stage-2/EL2 feature toggle each direction (Table III, EL2 config rows)",
+            ),
+            Difference(
+                "kvm-split",
+                "kvm_exit_dispatch",
+                1,
+                "Type-2 host run-loop dispatch on exit (Section II, Figure 1)",
+            ),
+            Difference(
+                "xen",
+                "xen_sched_pick",
+                1,
+                "Xen credit scheduler picks the next domain in the hypervisor (Section II)",
+            ),
+            Difference(
+                "xen",
+                "xen_ctx_extra",
+                1,
+                "Xen per-domain context beyond the register file (Section IV)",
+            ),
+        ),
+    ),
+    Group(
+        name="arm-light-trap",
+        cite="Table III: hypercall-style light trap skeleton",
+        members=(
+            Member(
+                "kvm-vhe",
+                (
+                    "hv/kvm/world_switch.py::vhe_exit",
+                    "hv/kvm/world_switch.py::vhe_enter",
+                ),
+            ),
+            Member(
+                "xen",
+                (
+                    "hv/xen/xen.py::XenHypervisor._xen_entry",
+                    "hv/xen/xen.py::XenHypervisor._xen_return",
+                ),
+            ),
+        ),
+        differences=(
+            Difference(
+                "kvm-vhe",
+                "kvm_vhe_dispatch",
+                1,
+                "KVM run-loop dispatch survives VHE (Section VI)",
+            ),
+            Difference(
+                "kvm-vhe",
+                "virq_inject_lr",
+                1,
+                "KVM injects pending virtual interrupts on re-entry (Section III)",
+            ),
+            Difference(
+                "xen",
+                "xen_dispatch",
+                1,
+                "Xen trap dispatch runs inside the hypervisor (Section IV)",
+            ),
+        ),
+    ),
+    Group(
+        name="kvm-split-vs-vhe",
+        cite="Section VI: VHE collapses the split-mode switch",
+        members=(
+            Member(
+                "split",
+                (
+                    "hv/kvm/world_switch.py::split_mode_exit",
+                    "hv/kvm/world_switch.py::split_mode_enter",
+                ),
+            ),
+            Member(
+                "vhe",
+                (
+                    "hv/kvm/world_switch.py::vhe_exit",
+                    "hv/kvm/world_switch.py::vhe_enter",
+                ),
+            ),
+        ),
+        differences=(
+            Difference(
+                "split",
+                "trap_to_el2",
+                1,
+                "split mode traps twice; VHE traps once (Section VI)",
+            ),
+            Difference(
+                "split",
+                "eret_to_el1",
+                1,
+                "split mode erets twice; VHE erets once (Section VI)",
+            ),
+            Difference(
+                "split",
+                "virt_feature_toggle",
+                2,
+                "VHE never toggles EL2 features on the switch path (Section VI)",
+            ),
+            Difference(
+                "split",
+                "save",
+                1,
+                "split mode sweeps the full register file eagerly (Table III)",
+            ),
+            Difference(
+                "split",
+                "restore",
+                1,
+                "split mode restores the full register file eagerly (Table III)",
+            ),
+            Difference(
+                "split",
+                "kvm_exit_dispatch",
+                1,
+                "split-mode exit dispatches through the host run loop (Section II)",
+            ),
+            Difference(
+                "vhe",
+                "gp_save_light",
+                1,
+                "VHE saves only the light GP set on the hot path (Section VI)",
+            ),
+            Difference(
+                "vhe",
+                "gp_restore_light",
+                1,
+                "VHE restores only the light GP set on the hot path (Section VI)",
+            ),
+            Difference(
+                "vhe",
+                "kvm_vhe_dispatch",
+                1,
+                "VHE dispatches in-kernel without a world switch (Section VI)",
+            ),
+        ),
+        classes={
+            "split": Classes(
+                save=("ALL_ARM_CLASSES",),
+                restore=("ALL_ARM_CLASSES",),
+                cite="Table III: split mode moves every register class",
+            ),
+            "vhe": Classes(
+                save=("gp_light",),
+                restore=("gp_light",),
+                cite="Section VI: VHE defers all but the light GP set",
+            ),
+        },
+    ),
+)
+
+
+def _signature(specs, primary_path):
+    """(ordered save tokens, ordered restore tokens, cost multiset) of a
+    member composition."""
+    steps = []
+    for spec in specs:
+        steps.extend(primary_path(spec).steps)
+    saves = tuple(
+        step.reg_class
+        for step in steps
+        if step.kind == "op" and step.category == "save"
+    )
+    restores = tuple(
+        step.reg_class
+        for step in steps
+        if step.kind == "op" and step.category == "restore"
+    )
+    costs = collections.Counter(
+        step.cost
+        for step in steps
+        if step.kind == "op"
+        and step.cost
+        and step.cost_kind in ("field", "table", "method")
+    )
+    return saves, restores, costs
+
+
+def _fmt_counter(counter):
+    return ", ".join(
+        "%s x%d" % (name, count) for name, count in sorted(counter.items())
+    )
+
+
+def _fmt_classes(tokens):
+    return "(%s)" % ", ".join(str(token) for token in tokens)
+
+
+def evaluate(specs_by_id, groups=GROUPS):
+    """Yield ``(anchor_spec, message)`` pairs for every skeleton break.
+
+    A group is only evaluated when *every* member function is present in
+    the extraction (partial trees — fixtures, subset scans — skip it).
+    """
+    from repro.analysis.pathspec.extract import primary_path
+
+    for group in groups:
+        member_specs = {}
+        complete = True
+        for member in group.members:
+            specs = [specs_by_id.get(spec_id) for spec_id in member.ids]
+            if any(spec is None or not spec.paths for spec in specs):
+                complete = False
+                break
+            member_specs[member.name] = specs
+        if not complete:
+            continue
+
+        signatures = {
+            member.name: _signature(member_specs[member.name], primary_path)
+            for member in group.members
+        }
+        reference = group.members[0]
+        ref_saves, ref_restores, ref_costs = signatures[reference.name]
+
+        for member in group.members:
+            saves, restores, costs = signatures[member.name]
+            anchor = member_specs[member.name][0]
+
+            if group.classes is not None:
+                declared = group.classes[member.name]
+                if saves != tuple(declared.save) or restores != tuple(
+                    declared.restore
+                ):
+                    yield anchor, (
+                        "skeleton group '%s': member '%s' sweeps save=%s "
+                        "restore=%s but declares save=%s restore=%s [%s]"
+                        % (
+                            group.name,
+                            member.name,
+                            _fmt_classes(saves),
+                            _fmt_classes(restores),
+                            _fmt_classes(declared.save),
+                            _fmt_classes(declared.restore),
+                            declared.cite,
+                        )
+                    )
+            elif member is not reference and (
+                saves != ref_saves or restores != ref_restores
+            ):
+                yield anchor, (
+                    "skeleton group '%s': member '%s' sweeps save=%s "
+                    "restore=%s but reference '%s' sweeps save=%s restore=%s "
+                    "— declare the difference with a paper citation or fix "
+                    "the asymmetry [%s]"
+                    % (
+                        group.name,
+                        member.name,
+                        _fmt_classes(saves),
+                        _fmt_classes(restores),
+                        reference.name,
+                        _fmt_classes(ref_saves),
+                        _fmt_classes(ref_restores),
+                        group.cite,
+                    )
+                )
+
+            if member is reference:
+                continue
+            extra_here = costs - ref_costs
+            extra_ref = ref_costs - costs
+            declared_here = collections.Counter(
+                {
+                    diff.cost: diff.count
+                    for diff in group.differences
+                    if diff.member == member.name
+                }
+            )
+            declared_ref = collections.Counter(
+                {
+                    diff.cost: diff.count
+                    for diff in group.differences
+                    if diff.member == reference.name
+                }
+            )
+            if extra_here != declared_here or extra_ref != declared_ref:
+                unexplained = (
+                    (extra_here - declared_here)
+                    + (declared_here - extra_here)
+                    + (extra_ref - declared_ref)
+                    + (declared_ref - extra_ref)
+                )
+                yield anchor, (
+                    "skeleton group '%s': member '%s' cost deltas vs '%s' do "
+                    "not match the declared differences (got +[%s] -[%s], "
+                    "declared +[%s] -[%s]; unexplained: %s) [%s]"
+                    % (
+                        group.name,
+                        member.name,
+                        reference.name,
+                        _fmt_counter(extra_here),
+                        _fmt_counter(extra_ref),
+                        _fmt_counter(declared_here),
+                        _fmt_counter(declared_ref),
+                        _fmt_counter(unexplained) or "-",
+                        group.cite,
+                    )
+                )

@@ -12,11 +12,13 @@ def rule_counts(violations):
 
 
 def render_statistics(violations):
-    """The ``--statistics`` block: one ``count  CODE`` line per rule."""
+    """The ``--statistics`` block: one ``count  CODE`` line per rule,
+    most frequent first (code as the tiebreak) so CI diffs are stable."""
     counts = rule_counts(violations)
     if not counts:
         return "0 findings"
-    lines = ["%6d  %s" % (count, code) for code, count in counts.items()]
+    ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    lines = ["%6d  %s" % (count, code) for code, count in ordered]
     lines.append("%6d  total" % len(violations))
     return "\n".join(lines)
 

@@ -1,0 +1,73 @@
+"""SPEC001: world-switch code and committed path specs must agree.
+
+The JSON under ``specs/`` is a golden file: any change to a hypervisor
+path (a reordered save sweep, a new trap, a recosted step) must re-land
+the regenerated spec in the same commit, exactly like a golden output.
+The rule re-extracts every in-scope function and compares against the
+committed documents in both directions — drifted and missing functions
+anchor at the ``def``; stale committed entries anchor at the spec file.
+"""
+
+from repro.analysis.engine import Violation
+from repro.analysis.pathspec.extract import (
+    extract_tree,
+    load_committed,
+    resolve_spec_dir,
+)
+from repro.analysis.rules.base import Rule
+
+
+class SpecDrift(Rule):
+    code = "SPEC001"
+    name = "pathspec-drift"
+    description = "extracted world-switch paths must match the committed specs/ golden JSON"
+    tier = "spec"
+
+    def check(self, project, config):
+        extracted = extract_tree(project, config)
+        if not extracted:
+            return
+        spec_dir = resolve_spec_dir(config, project)
+        if not spec_dir.is_dir():
+            anchor = extracted[0]
+            yield anchor.module.violation(
+                anchor.func,
+                self.code,
+                "no committed path specs at %s — run `python -m repro spec "
+                "extract` and commit the result" % spec_dir,
+            )
+            return
+        committed, sources, problems = load_committed(spec_dir)
+        for path, message in problems:
+            yield Violation(str(path), 1, 0, self.code, message)
+        matched = set()
+        for spec in extracted:
+            document = spec.serialize()
+            have = committed.get(spec.spec_id)
+            if have is None:
+                yield spec.module.violation(
+                    spec.func,
+                    self.code,
+                    "'%s' has no committed path spec in %s — run `python -m "
+                    "repro spec extract` and commit the result"
+                    % (spec.qualname, spec_dir),
+                )
+                continue
+            matched.add(spec.spec_id)
+            if have != document:
+                yield spec.module.violation(
+                    spec.func,
+                    self.code,
+                    "path spec for '%s' drifted from %s — the code changed "
+                    "without re-landing the golden spec (run `python -m repro "
+                    "spec extract`)" % (spec.qualname, sources[spec.spec_id].name),
+                )
+        for spec_id in sorted(set(committed) - matched):
+            yield Violation(
+                str(sources[spec_id]),
+                1,
+                0,
+                self.code,
+                "committed path spec %r matches no extracted function — "
+                "stale entry (run `python -m repro spec extract`)" % spec_id,
+            )

@@ -1,0 +1,87 @@
+"""SPEC002: path specs and the cost table must reference each other.
+
+Forward direction: every op step whose cost expression resolves into
+the cost model must name a real ``ArmCosts``/``X86Costs`` field (or the
+``save``/``restore`` sweep tables, or a cost-model method).  Backward
+direction: every cost field must be reachable from at least one
+extracted path step — a field no spec can see is dead calibration the
+per-read COV001 check cannot distinguish from helper-only reads, and is
+flagged at its definition unless suppressed with a reason.
+"""
+
+import ast
+
+from repro.analysis.pathspec.extract import extract_tree
+from repro.analysis.rules.base import Rule
+
+
+def _cost_fields(costs_module):
+    """``([(name, lineno), ...], methods)`` over every cost class, keeping
+    per-class duplicates so each definition line is checked on its own."""
+    fields, methods = [], set()
+    for node in costs_module.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if not stmt.target.id.startswith("_"):
+                    fields.append((stmt.target.id, stmt.lineno))
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                        fields.append((target.id, stmt.lineno))
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.add(stmt.name)
+    return fields, methods
+
+
+class SpecCostConsistency(Rule):
+    code = "SPEC002"
+    name = "pathspec-cost-consistency"
+    description = "every spec step references a real cost field; every cost field is spec-reachable or suppressed"
+    tier = "spec"
+
+    def check(self, project, config):
+        costs_module = project.module(config.cov001_costs_module)
+        if costs_module is None:
+            return
+        fields, methods = _cost_fields(costs_module)
+        field_names = {name for name, _ in fields}
+        referenced = set()
+        seen_sites = set()
+        for spec in extract_tree(project, config):
+            for step in spec.all_steps:
+                if step.kind != "op" or step.cost is None:
+                    continue
+                referenced.add(step.cost)
+                site = (spec.module.relpath, step.line, step.cost)
+                if site in seen_sites:
+                    continue
+                seen_sites.add(site)
+                if step.cost_kind in ("field", "table"):
+                    if step.cost not in field_names:
+                        yield spec.module.violation(
+                            step.line,
+                            self.code,
+                            "op step charges cost field %r which is not a "
+                            "field of the cost model (%s)"
+                            % (step.cost, config.cov001_costs_module),
+                        )
+                elif step.cost_kind == "method":
+                    if step.cost not in methods:
+                        yield spec.module.violation(
+                            step.line,
+                            self.code,
+                            "op step calls cost method %r which is not a "
+                            "method of the cost model (%s)"
+                            % (step.cost, config.cov001_costs_module),
+                        )
+        for name, lineno in fields:
+            if name not in referenced:
+                yield costs_module.violation(
+                    lineno,
+                    self.code,
+                    "cost field %r is unreachable from every extracted path "
+                    "spec — no op step charges it; wire it into a costed "
+                    "step or suppress with the consuming-helper reason" % name,
+                )

@@ -1,0 +1,27 @@
+"""SPEC003: Table III skeleton symmetry across hypervisors and modes.
+
+The declared groups live in :mod:`repro.analysis.pathspec.symmetry`:
+KVM split-mode vs Xen (full VM switch), KVM-VHE vs Xen (light trap) and
+KVM split vs VHE.  Each group re-derives member signatures from the
+extracted specs and checks that the members differ *only* by the
+declared, paper-cited steps.  Findings anchor at the first function of
+the offending member.
+"""
+
+from repro.analysis.pathspec.extract import extract_tree
+from repro.analysis.pathspec.symmetry import evaluate
+from repro.analysis.rules.base import Rule
+
+
+class SkeletonSymmetry(Rule):
+    code = "SPEC003"
+    name = "pathspec-skeleton-symmetry"
+    description = "hypervisor paths sharing a Table III skeleton differ only by declared, cited steps"
+    tier = "spec"
+
+    def check(self, project, config):
+        specs_by_id = {
+            spec.spec_id: spec for spec in extract_tree(project, config)
+        }
+        for anchor, message in evaluate(specs_by_id):
+            yield anchor.module.violation(anchor.func, self.code, message)

@@ -10,8 +10,11 @@ drift from the table.
 Two independent layers are checked:
 
 * **costed ops** — ``pcpu.op(..., "save")`` / ``pcpu.op(..., "restore")``
-  pairs, matched by register-class token (see
-  :mod:`repro.analysis.flow.effects`);
+  pairs, matched by register-class token.  The expectations come from
+  the PathSpec extraction (:mod:`repro.analysis.pathspec`) — the same
+  step stream the committed ``specs/`` golden files are generated from,
+  with module-level aliases canonicalized — so the flow tier and the
+  spec tier can never disagree about what a sweep moves;
 * **context-image moves** — ``arch.save_context(...)`` /
   ``arch.load_context(...)`` call counts.
 
@@ -26,8 +29,8 @@ every acyclic path must balance each layer.
 
 from collections import Counter
 
-from repro.analysis.flow import Extractor, build_cfg, iter_functions
-from repro.analysis.flow.effects import CTX_LOAD, CTX_SAVE, RESTORE_OP, SAVE_OP
+from repro.analysis.flow.effects import CTX_LOAD, CTX_SAVE
+from repro.analysis.pathspec.extract import module_specs
 from repro.analysis.rules.base import Rule
 
 
@@ -42,25 +45,28 @@ class PathSymmetry(Rule):
     def check(self, project, config):
         max_paths = config.flow_max_paths
         for module in project.in_paths(config.paths_for(self.code)):
-            for func in iter_functions(module.tree):
-                yield from self._check_function(module, func, max_paths)
+            for spec in module_specs(module, max_paths):
+                yield from self._check_function(module, spec)
 
-    def _check_function(self, module, func, max_paths):
-        extractor = Extractor(func)
-        cfg = build_cfg(func)
-        kinds = set()
-        for node in cfg.nodes:
-            if node.kind == "stmt":
-                kinds.update(e.kind for e in extractor.effects(node.stmt))
+    def _check_function(self, module, spec):
+        func = spec.func
+        has_save = has_restore = has_ctx_save = has_ctx_load = False
+        for step in spec.all_steps:
+            if step.kind == "op":
+                has_save = has_save or step.category == "save"
+                has_restore = has_restore or step.category == "restore"
+            else:
+                has_ctx_save = has_ctx_save or step.arch == CTX_SAVE
+                has_ctx_load = has_ctx_load or step.arch == CTX_LOAD
 
         one_sided = []
-        if SAVE_OP in kinds and RESTORE_OP not in kinds:
+        if has_save and not has_restore:
             one_sided.append("costed register-class saves but no restores")
-        elif RESTORE_OP in kinds and SAVE_OP not in kinds:
+        elif has_restore and not has_save:
             one_sided.append("costed register-class restores but no saves")
-        if CTX_SAVE in kinds and CTX_LOAD not in kinds:
+        if has_ctx_save and not has_ctx_load:
             one_sided.append("save_context with no load_context")
-        elif CTX_LOAD in kinds and CTX_SAVE not in kinds:
+        elif has_ctx_load and not has_ctx_save:
             one_sided.append("load_context with no save_context")
         if one_sided:
             yield module.violation(
@@ -71,29 +77,29 @@ class PathSymmetry(Rule):
             )
             return
 
-        check_ops = SAVE_OP in kinds  # both sides present (see above)
-        check_ctx = CTX_SAVE in kinds
+        check_ops = has_save  # both sides present (see above)
+        check_ctx = has_ctx_save
         if not (check_ops or check_ctx):
             return
         seen = set()
-        for path in cfg.iter_paths(max_paths):
+        for path in spec.paths:
             saves, restores = Counter(), Counter()
             ctx_saves = ctx_loads = 0
             first_line = {}
-            for node in path.nodes:
-                for effect in extractor.effects(node.stmt):
-                    if effect.kind == SAVE_OP:
-                        saves[effect.token] += 1
-                        first_line.setdefault(("s", effect.token), effect.line)
-                    elif effect.kind == RESTORE_OP:
-                        restores[effect.token] += 1
-                        first_line.setdefault(("r", effect.token), effect.line)
-                    elif effect.kind == CTX_SAVE:
-                        ctx_saves += 1
-                        first_line.setdefault("ctx", effect.line)
-                    elif effect.kind == CTX_LOAD:
-                        ctx_loads += 1
-                        first_line.setdefault("ctx", effect.line)
+            for step in path.steps:
+                if step.kind == "op":
+                    if step.category == "save":
+                        saves[step.reg_class] += 1
+                        first_line.setdefault(("s", step.reg_class), step.line)
+                    elif step.category == "restore":
+                        restores[step.reg_class] += 1
+                        first_line.setdefault(("r", step.reg_class), step.line)
+                elif step.arch == CTX_SAVE:
+                    ctx_saves += 1
+                    first_line.setdefault("ctx", step.line)
+                elif step.arch == CTX_LOAD:
+                    ctx_loads += 1
+                    first_line.setdefault("ctx", step.line)
             if check_ops and saves != restores:
                 for token in sorted(
                     set(saves) | set(restores), key=lambda t: str(t)

@@ -8,6 +8,10 @@ back.  A path that returns, raises, or falls off the end *between* the
 pair leaves the modeled CPU stuck in hypervisor context — the
 simulation equivalent of lockdep's "lock held at return".
 
+The transition stream comes from the shared PathSpec extraction
+(:mod:`repro.analysis.pathspec`), the same source the committed
+``specs/`` goldens and SPEC00x rules consume.
+
 Only functions containing **both** ends of a dimension are checked:
 dedicated halves (``_xen_entry`` traps in, ``_xen_return`` erets out)
 are legitimate composition units and stay out of scope — their pairing
@@ -16,9 +20,9 @@ with no recorded enter (the function was *called* in hypervisor
 context) clamps at depth zero rather than flagging.
 """
 
-from repro.analysis.flow import Extractor, build_cfg, iter_functions
-from repro.analysis.flow.cfg import FALL, RAISE, RETURN
+from repro.analysis.flow.cfg import RAISE, RETURN
 from repro.analysis.flow.effects import TRAP_ENTER, TRAP_EXIT, VIRT_OFF, VIRT_ON
+from repro.analysis.pathspec.extract import module_specs
 from repro.analysis.rules.base import Rule
 
 #: (enter kind, exit kind, what the pair is)
@@ -47,31 +51,28 @@ class TrapPairing(Rule):
     def check(self, project, config):
         max_paths = config.flow_max_paths
         for module in project.in_paths(config.paths_for(self.code)):
-            for func in iter_functions(module.tree):
-                yield from self._check_function(module, func, max_paths)
+            for spec in module_specs(module, max_paths):
+                yield from self._check_function(module, spec)
 
-    def _check_function(self, module, func, max_paths):
-        extractor = Extractor(func)
-        cfg = build_cfg(func)
-        kinds = set()
-        for node in cfg.nodes:
-            if node.kind == "stmt":
-                kinds.update(e.kind for e in extractor.effects(node.stmt))
+    def _check_function(self, module, spec):
+        func = spec.func
+        kinds = {step.arch for step in spec.all_steps if step.kind == "arch"}
         dimensions = [
             dim for dim in _DIMENSIONS if dim[0] in kinds and dim[1] in kinds
         ]
         if not dimensions:
             return
         seen = set()
-        for path in cfg.iter_paths(max_paths):
+        for path in spec.paths:
             for enter_kind, exit_kind, label in dimensions:
                 pending = []  # lines of unmatched enters, innermost last
-                for node in path.nodes:
-                    for effect in extractor.effects(node.stmt):
-                        if effect.kind == enter_kind:
-                            pending.append(effect.line)
-                        elif effect.kind == exit_kind and pending:
-                            pending.pop()
+                for step in path.steps:
+                    if step.kind != "arch":
+                        continue
+                    if step.arch == enter_kind:
+                        pending.append(step.line)
+                    elif step.arch == exit_kind and pending:
+                        pending.pop()
                 for line in pending:
                     message = "%s at line %d is never undone on a path that %s" % (
                         label,

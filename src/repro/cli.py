@@ -12,6 +12,8 @@ Usage:
     python -m repro micro --platform xen-arm   # one platform's column
     python -m repro lint               # model-integrity static analysis
     python -m repro lint --flow        # + CFG path-symmetry rules
+    python -m repro lint --spec        # + path-spec golden-file rules
+    python -m repro spec extract       # (re)write specs/*.json goldens
     python -m repro trace table3 -o trace.json   # Perfetto span trace
     python -m repro bench --jobs 4     # sharded suite + BENCH_suite.json
     python -m repro sanitize suite     # SimSan tie-order race sweep
@@ -51,6 +53,12 @@ def _cmd_lint(args):
     from repro.analysis import cli as analysis_cli
 
     return analysis_cli.main(args.lint_args)
+
+
+def _cmd_spec(args):
+    from repro.analysis.pathspec import cli as spec_cli
+
+    return spec_cli.main(args.spec_args)
 
 
 def _cmd_sanitize(args):
@@ -222,6 +230,7 @@ COMMANDS = {
     "all": lambda args: print(suite.full_report()),
     "micro": _cmd_micro,
     "lint": _cmd_lint,
+    "spec": _cmd_spec,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
     "sanitize": _cmd_sanitize,
@@ -401,6 +410,17 @@ def build_parser():
         nargs=argparse.REMAINDER,
         help="arguments forwarded to repro.analysis (paths, --format, --select, ...)",
     )
+    spec = sub.add_parser(
+        "spec",
+        help="extract, diff or show the golden world-switch path specs "
+        "(see python -m repro spec -h)",
+    )
+    spec.add_argument(
+        "spec_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.analysis.pathspec "
+        "(extract|diff|show, paths, --spec-dir, --id, ...)",
+    )
     return parser
 
 
@@ -411,6 +431,10 @@ def main(argv=None):
         from repro.analysis import cli as analysis_cli
 
         return analysis_cli.main(argv[1:])
+    if argv[:1] == ["spec"]:
+        from repro.analysis.pathspec import cli as spec_cli
+
+        return spec_cli.main(argv[1:])
     args = build_parser().parse_args(argv)
     # lint returns the linter's exit status; report commands return None
     status = COMMANDS[args.command](args) or 0

@@ -1,0 +1,13 @@
+"""Seeded SPEC001 fixture: the committed golden spec for this function
+was landed from an older revision (see ``../specs/hv.json``), so the
+extraction no longer matches it — golden-file drift."""
+
+
+def drifted_hypercall(machine, vcpu):  # expect: SPEC001
+    pcpu, costs = vcpu.pcpu, machine.costs
+    arch = pcpu.arch
+    arch.trap_to_el2("hvc")
+    yield pcpu.op("trap_to_el2", costs.trap_to_el2, "trap")
+    yield pcpu.op("hypercall_body", costs.hypercall_body, "hypercall")
+    arch.eret("el1")
+    yield pcpu.op("eret_to_el1", costs.eret_to_el1, "trap")

@@ -27,6 +27,13 @@ def test_repo_tree_is_lint_clean():
     assert violations == [], "\n".join(v.format() for v in violations)
 
 
+def test_repo_tree_is_clean_with_flow_and_spec_tiers():
+    """The full ladder — including SPEC001 drift against the committed
+    ``specs/`` goldens and SPEC003 cross-hypervisor symmetry — is clean."""
+    violations = run_analysis([SRC], config=repo_config(), flow=True, spec=True)
+    assert violations == [], "\n".join(v.format() for v in violations)
+
+
 def test_every_calibrated_primitive_is_consumed():
     """COV001 in isolation: zero orphans — every primitive in
     ``repro.hw.costs`` is read by at least one composed simulation path."""

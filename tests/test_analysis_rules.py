@@ -40,8 +40,8 @@ def expected_findings(rule=None):
 
 
 def reported_findings(select=None):
-    # flow=True: the fixture tree seeds the flow tier too
-    violations = run_analysis([FIXTURES], select=select, flow=True)
+    # flow=True/spec=True: the fixture tree seeds those tiers too
+    violations = run_analysis([FIXTURES], select=select, flow=True, spec=True)
     reported = set()
     for violation in violations:
         rel = pathlib.Path(violation.path).relative_to(FIXTURES).as_posix()
@@ -132,7 +132,7 @@ class TestConfig:
         assert [rule.code for rule in active_rules(config)] == ["CAL001"]
         # CLI select overrides config select
         assert [rule.code for rule in active_rules(config, ["DES001"])] == ["DES001"]
-        assert active_rules(LintConfig(), flow=True) is ALL_RULES
+        assert active_rules(LintConfig(), flow=True, spec=True) is ALL_RULES
 
     def test_flow_tier_gated_behind_flag(self):
         # without --flow, the CFG-based rules stay out of the default set
@@ -140,6 +140,15 @@ class TestConfig:
         assert {"SYM001", "SYM002", "FLW001"} & default_codes == set()
         # an explicit select runs a flow rule even without the flag
         assert [r.code for r in active_rules(LintConfig(), ["SYM001"])] == ["SYM001"]
+
+    def test_spec_tier_gated_behind_flag(self):
+        # without --spec, the golden-file rules stay out of the default set
+        default_codes = {rule.code for rule in active_rules(LintConfig())}
+        assert {"SPEC001", "SPEC002", "SPEC003"} & default_codes == set()
+        flow_codes = {rule.code for rule in active_rules(LintConfig(), flow=True)}
+        assert {"SPEC001", "SPEC002", "SPEC003"} & flow_codes == set()
+        # an explicit select runs a spec rule even without the flag
+        assert [r.code for r in active_rules(LintConfig(), ["SPEC002"])] == ["SPEC002"]
 
     def test_minimal_toml_fallback_parses_our_block(self):
         from repro.analysis.config import _parse_toml_minimal
@@ -149,25 +158,29 @@ class TestConfig:
         section = data["tool"]["repro-lint"]
         assert section["select"] == [
             "CAL001", "DET001", "DES001", "COV001", "API001",
-            "SYM001", "SYM002", "FLW001",
+            "SYM001", "SYM002", "FLW001", "SPEC001", "SPEC002", "SPEC003",
         ]
         assert section["paths"]["API001"] == ["hv"]
         assert section["paths"]["SYM001"] == ["hv"]
+        assert section["paths"]["SPEC001"] == ["hv"]
         assert section["paths"]["DES001"] == []
         assert section["options"]["cal001-min-literal"] == 50
+        assert section["options"]["spec-dir"] == "specs"
 
     def test_load_from_repo_pyproject(self):
         pyproject = pathlib.Path(__file__).parent.parent / "pyproject.toml"
         config = LintConfig.load(pyproject)
         assert config.select == (
             "CAL001", "DET001", "DES001", "COV001", "API001",
-            "SYM001", "SYM002", "FLW001",
+            "SYM001", "SYM002", "FLW001", "SPEC001", "SPEC002", "SPEC003",
         )
         assert "workloads" in config.paths_for("COV001")
         assert config.cal001_min_literal == 50
         assert config.det001_allow == ("sim/rng.py",)
         assert config.paths_for("SYM002") == ("hv",)
         assert config.flow_max_paths == 2000
+        # relative spec-dir resolves against the pyproject's directory
+        assert config.spec_dir == str(pyproject.parent / "specs")
 
     def test_scoping_excludes_out_of_scope_subsystem(self, tmp_path):
         workloads = tmp_path / "workloads"

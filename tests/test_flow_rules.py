@@ -205,6 +205,17 @@ class TestSuppressionBlocks:
         # the block names a different rule — SYM001 still fires
         assert len(run_analysis([tmp_path], select=["SYM001"])) == 1
 
+    def test_prefix_suppression_waives_the_tier(self, tmp_path):
+        target = tmp_path / "hv"
+        target.mkdir()
+        (target / "mod.py").write_text(
+            "# repro-lint: ignore[SYM]\n"
+            "def save_half(pcpu, costs):\n"
+            "    yield pcpu.op('save_gp', costs.save_gp, 'save')\n"
+        )
+        # the prefix covers every SYM* rule on the attached line
+        assert run_analysis([tmp_path], select=["SYM001"]) == []
+
 
 class TestIgnoreAndStatistics:
     SOURCE = (
@@ -229,6 +240,22 @@ class TestIgnoreAndStatistics:
         remaining = run_analysis([tree], flow=True, ignore=["sym001"])
         assert all(v.rule != "SYM001" for v in remaining)
 
+    def test_ignore_accepts_rule_prefix(self, tmp_path):
+        tree = self.write_tree(tmp_path)
+        remaining = run_analysis([tree], flow=True, ignore=["SYM"])
+        assert all(not v.rule.startswith("SYM") for v in remaining)
+
+    def test_unknown_ignore_entry_is_an_error(self, tmp_path):
+        import pytest
+
+        tree = self.write_tree(tmp_path)
+        with pytest.raises(KeyError) as excinfo:
+            run_analysis([tree], flow=True, ignore=["NOPE999"])
+        assert "NOPE999" in excinfo.value.args[0]
+        # near-miss prefixes don't silently no-op either
+        with pytest.raises(KeyError):
+            run_analysis([tree], flow=True, ignore=["SYM9"])
+
     def test_statistics_rendering(self, tmp_path):
         tree = self.write_tree(tmp_path)
         violations = run_analysis([tree], flow=True)
@@ -245,3 +272,18 @@ class TestIgnoreAndStatistics:
 
     def test_statistics_on_clean_tree(self):
         assert "0 findings" in render_statistics([])
+
+    def test_statistics_sorted_by_count_then_code(self):
+        from repro.analysis.engine import Violation
+
+        def fire(rule, count):
+            return [
+                Violation("m.py", index + 1, 0, rule, "x") for index in range(count)
+            ]
+
+        violations = fire("SYM002", 1) + fire("CAL001", 3) + fire("API001", 3)
+        lines = render_statistics(violations).splitlines()
+        # most frequent first; equal counts tie-break on the code
+        assert [line.split()[1] for line in lines] == [
+            "API001", "CAL001", "SYM002", "total",
+        ]

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""CI schema smoke for the ``specs/*.json`` golden path-spec documents.
+
+Checks the contract :mod:`repro.analysis.pathspec` promises: a JSON
+object with the ``repro-pathspec/1`` schema tag, a non-empty ``group``
+string, and a ``specs`` list sorted by unique ``id`` where every spec
+carries ``id``/``module``/``function`` strings (with ``id`` equal to
+``module::function``), a ``truncated`` bool, and a non-empty ``paths``
+list.  Every path has a ``terminator`` in return/raise/fall plus a
+``steps`` list whose entries are either architectural markers
+(``{"arch": ...}`` with a known kind) or op steps with
+``op``/``category`` strings, a ``cost`` that is a string or null, a
+``cost_kind`` from the extractor's vocabulary (null cost only for
+literal/external kinds), and an optional ``class`` register-class token.
+
+Usage:
+    python tools/validate_pathspec.py specs/kvm.json [more.json ...]
+
+Exits 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+SCHEMA = "repro-pathspec/1"
+TERMINATORS = {"return", "raise", "fall"}
+ARCH_KINDS = {
+    "ctx_save",
+    "ctx_load",
+    "trap_enter",
+    "trap_exit",
+    "virt_off",
+    "virt_on",
+}
+COST_KINDS = {"field", "table", "method", "literal", "external"}
+#: cost kinds that must name a cost-model attribute
+NAMED_COST_KINDS = {"field", "table", "method"}
+
+
+def _is_str(value):
+    return isinstance(value, str) and bool(value)
+
+
+def validate(path):
+    """Return a list of problem strings (empty = valid)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return ["cannot load %s: %s" % (path, exc)]
+    if not isinstance(document, dict):
+        return ["%s: document is not a JSON object" % path]
+    problems = []
+    if document.get("schema") != SCHEMA:
+        problems.append(
+            "%s: schema is %r, expected %r" % (path, document.get("schema"), SCHEMA)
+        )
+    if not _is_str(document.get("group")):
+        problems.append("%s: group=%r is not a non-empty string" % (path, document.get("group")))
+    specs = document.get("specs")
+    if not isinstance(specs, list) or not specs:
+        problems.append("%s: specs missing or empty" % path)
+        specs = []
+    ids = [spec.get("id") for spec in specs if isinstance(spec, dict)]
+    if ids != sorted(ids, key=lambda i: i or ""):
+        problems.append("%s: specs are not sorted by id" % path)
+    if len(set(ids)) != len(ids):
+        problems.append("%s: duplicate spec ids" % path)
+    for index, spec in enumerate(specs):
+        problems.extend(_validate_spec(path, index, spec))
+    return problems
+
+
+def _validate_spec(path, index, spec):
+    where = "spec %d" % index
+    if not isinstance(spec, dict):
+        return ["%s: %s is not an object" % (path, where)]
+    problems = []
+    for key in ("id", "module", "function"):
+        if not _is_str(spec.get(key)):
+            problems.append(
+                "%s: %s %s=%r is not a non-empty string" % (path, where, key, spec.get(key))
+            )
+    if (
+        _is_str(spec.get("id"))
+        and spec.get("id") != "%s::%s" % (spec.get("module"), spec.get("function"))
+    ):
+        problems.append(
+            "%s: %s id=%r does not match module::function" % (path, where, spec["id"])
+        )
+    if _is_str(spec.get("id")):
+        where = spec["id"]
+    if not isinstance(spec.get("truncated"), bool):
+        problems.append("%s: %s truncated=%r is not a bool" % (path, where, spec.get("truncated")))
+    paths = spec.get("paths")
+    if not isinstance(paths, list) or not paths:
+        problems.append("%s: %s paths missing or empty" % (path, where))
+        return problems
+    for p_index, trace in enumerate(paths):
+        problems.extend(_validate_path(path, "%s path %d" % (where, p_index), trace))
+    return problems
+
+
+def _validate_path(path, where, trace):
+    if not isinstance(trace, dict):
+        return ["%s: %s is not an object" % (path, where)]
+    problems = []
+    if trace.get("terminator") not in TERMINATORS:
+        problems.append(
+            "%s: %s terminator=%r not in %s"
+            % (path, where, trace.get("terminator"), sorted(TERMINATORS))
+        )
+    steps = trace.get("steps")
+    if not isinstance(steps, list):
+        return problems + ["%s: %s steps is not a list" % (path, where)]
+    for s_index, step in enumerate(steps):
+        problems.extend(_validate_step(path, "%s step %d" % (where, s_index), step))
+    return problems
+
+
+def _validate_step(path, where, step):
+    if not isinstance(step, dict):
+        return ["%s: %s is not an object" % (path, where)]
+    if "arch" in step:
+        problems = []
+        if step["arch"] not in ARCH_KINDS:
+            problems.append(
+                "%s: %s arch=%r not in %s" % (path, where, step["arch"], sorted(ARCH_KINDS))
+            )
+        extra = set(step) - {"arch"}
+        if extra:
+            problems.append(
+                "%s: %s arch step has extra keys %s" % (path, where, sorted(extra))
+            )
+        return problems
+    problems = []
+    for key in ("op", "category"):
+        if not _is_str(step.get(key)):
+            problems.append(
+                "%s: %s %s=%r is not a non-empty string" % (path, where, key, step.get(key))
+            )
+    cost = step.get("cost")
+    kind = step.get("cost_kind")
+    if kind not in COST_KINDS:
+        problems.append("%s: %s cost_kind=%r not in %s" % (path, where, kind, sorted(COST_KINDS)))
+    elif kind in NAMED_COST_KINDS:
+        if not _is_str(cost):
+            problems.append(
+                "%s: %s cost=%r but cost_kind=%r needs a cost name" % (path, where, cost, kind)
+            )
+    elif cost is not None and not _is_str(cost):
+        problems.append("%s: %s cost=%r is not a string or null" % (path, where, cost))
+    if "class" in step and not _is_str(step["class"]):
+        problems.append(
+            "%s: %s class=%r is not a non-empty string" % (path, where, step["class"])
+        )
+    extra = set(step) - {"op", "category", "cost", "cost_kind", "class"}
+    if extra:
+        problems.append("%s: %s op step has extra keys %s" % (path, where, sorted(extra)))
+    return problems
+
+
+def main(argv):
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv:
+        problems = validate(path)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print("FAIL %s" % problem)
+        else:
+            print("OK   %s" % path)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
