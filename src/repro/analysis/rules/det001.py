@@ -10,7 +10,10 @@ randomized set iteration order.  Banned in the model subsystems:
   ``_ns`` variants), ``datetime.now``/``utcnow``/``today``;
 * ``os.urandom``;
 * iterating a bare set display, set comprehension, or ``set(...)`` call —
-  the order depends on PYTHONHASHSEED.
+  the order depends on PYTHONHASHSEED;
+* augmented assignment to a module-level class attribute (e.g. a
+  ``Foo._next_id += 1`` allocator) — process-global mutable state that
+  leaks across cells when the runner executes them in-process.
 """
 
 import ast
@@ -48,7 +51,25 @@ class Determinism(Rule):
             yield from self._check_module(module)
 
     def _check_module(self, module):
+        class_names = {
+            stmt.name
+            for stmt in module.tree.body
+            if isinstance(stmt, ast.ClassDef)
+        }
         for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.target, ast.Attribute)
+                and isinstance(node.target.value, ast.Name)
+                and node.target.value.id in class_names
+            ):
+                yield module.violation(
+                    node, self.code,
+                    "augmented assignment to class attribute '%s.%s' — a "
+                    "module-level counter is process-global state that "
+                    "leaks across in-process cells; scope it to an "
+                    "instance" % (node.target.value.id, node.target.attr),
+                )
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.name.split(".")[0] == "random":

@@ -24,6 +24,7 @@ results as JSON alongside the rendered table.
 
 import argparse
 import json
+import os
 import sys
 
 from repro.core import reporting, suite
@@ -127,6 +128,10 @@ def _cmd_bench(args):
 
     if args.cache_verify:
         return _cmd_cache_verify(args, runner_bench)
+    if args.no_fastpath:
+        # Environment, not a parameter: worker processes must inherit
+        # the setting so every cell interprets step by step.
+        os.environ["REPRO_FASTPATH"] = "0"
     policy = RetryPolicy.from_env(
         max_retries=args.max_retries,
         cell_timeout_s=args.cell_timeout,
@@ -306,6 +311,13 @@ def build_parser():
         "--no-cache",
         action="store_true",
         help="ignore and do not write the content-addressed result cache",
+    )
+    bench.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        help="disable the compiled world-switch fast lane (sets "
+        "REPRO_FASTPATH=0 for this run and its workers); results are "
+        "byte-identical either way, only wall time changes",
     )
     bench.add_argument(
         "--cache-dir",

@@ -91,7 +91,7 @@ class TcpRrBenchmark:
         self.testbed.client_nic.on_receive = self._client_receive
         self._finished = self.engine.event("rr-finished")
         self._send_request()
-        self.engine.run_until_fired(self._finished, limit=int(1e12))
+        self.engine.run_until_fired(self._finished, deadline=int(1e12))
         self.engine.run()
         return self._collect()
 

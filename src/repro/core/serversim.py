@@ -131,7 +131,7 @@ class ServerLoadSimulation:
         start = self.engine.now
         for _client in range(self.concurrency):
             issue_request()
-        self.engine.run_until_fired(finished, limit=int(1e15))
+        self.engine.run_until_fired(finished, deadline=int(1e15))
         total = self.engine.now - start
         irq_busy = sum(v.busy_cycles for v in vcpus[: max(1, self.irq_vcpus)])
         return ServerSimResult(

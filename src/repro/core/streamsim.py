@@ -89,7 +89,7 @@ class StreamSimulation:
         start = self.engine.now
         for _slot in range(min(self.window, self.segments)):
             send_segment()
-        self.engine.run_until_fired(finished, limit=int(1e15))
+        self.engine.run_until_fired(finished, deadline=int(1e15))
         total = self.engine.now - start
         frequency = self.testbed.machine.platform.frequency_hz
         utilization = {

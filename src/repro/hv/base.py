@@ -92,8 +92,6 @@ class Vcpu:
 class Vm:
     """A virtual machine: VCPUs + Stage-2 address space + virtual devices."""
 
-    _next_vmid = 1
-
     def __init__(self, hypervisor, name, num_vcpus, pcpu_indices, memory_mb=12288):
         if len(pcpu_indices) != num_vcpus:
             raise ConfigurationError(
@@ -103,8 +101,11 @@ class Vm:
         self.hypervisor = hypervisor
         self.name = name
         self.memory_mb = memory_mb
-        self.vmid = Vm._next_vmid
-        Vm._next_vmid += 1
+        # vmids are scoped to the owning hypervisor (as on real hardware,
+        # where VTTBR VMIDs are per-host): a module-level counter would be
+        # process-global mutable state leaking across cells whenever the
+        # runner degrades to in-process serial execution.
+        self.vmid = hypervisor._allocate_vmid()
         self.stage2 = Stage2Tables(self.vmid)
         # Premap a token chunk of guest RAM; real faults fill the rest
         # on demand.  The GIC distributor region is intentionally left
@@ -158,6 +159,7 @@ class Hypervisor:
         self.engine = machine.engine
         self.costs = machine.costs
         self.vms = []
+        self._next_vmid = 1
         #: statistics for workload accounting — a dict-like facade over
         #: the machine's metrics registry (``hv.traps`` etc.), so the
         #: observability exporters see the same numbers.
@@ -166,6 +168,12 @@ class Hypervisor:
         )
 
     # --- VM lifecycle ---------------------------------------------------
+
+    def _allocate_vmid(self):
+        """Hand out the next Stage-2 VMID, scoped to this hypervisor."""
+        vmid = self._next_vmid
+        self._next_vmid += 1
+        return vmid
 
     def create_vm(self, name, num_vcpus, pcpu_indices, memory_mb=12288):
         vm = Vm(self, name, num_vcpus, pcpu_indices, memory_mb)

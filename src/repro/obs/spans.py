@@ -51,8 +51,37 @@ class Span:
 
     @property
     def self_cycles(self):
-        """Cycles not covered by any child span."""
+        """Cycles not covered by any child span.
+
+        Only meaningful once the span and all its children are closed: an
+        open child has no end yet, so counting it as 0 cycles would
+        silently over-attribute its time to this span (and could report
+        ``self_cycles`` exceeding ``duration``).  Raises on open spans;
+        use :meth:`self_cycles_at` for mid-flight inspection.
+        """
+        if self.end is None:
+            raise SimulationError(
+                "self_cycles on open span %r; close it first or use "
+                "self_cycles_at(now)" % (self.name,)
+            )
+        for child in self.children:
+            if child.end is None:
+                raise SimulationError(
+                    "self_cycles on span %r with open child %r; close it "
+                    "first or use self_cycles_at(now)" % (self.name, child.name)
+                )
         return self.duration - sum(child.duration for child in self.children)
+
+    def duration_at(self, now):
+        """Cycles covered so far, clamping an open end at ``now``."""
+        end = self.end if self.end is not None else now
+        return max(0, end - self.start)
+
+    def self_cycles_at(self, now):
+        """Mid-flight ``self_cycles``: open spans are clamped at ``now``."""
+        return self.duration_at(now) - sum(
+            child.duration_at(now) for child in self.children
+        )
 
     @property
     def is_leaf(self):

@@ -96,6 +96,20 @@ class SimEvent:
         else:
             self._callbacks.append(callback)
 
+    def cancel_on_fire(self, callback):
+        """Unregister a pending ``on_fire`` callback.
+
+        Combinators use this to prune losing registrations once their
+        race is decided, so an event that lost an ``AnyOf`` can still be
+        ``reset()`` and does not accumulate stale callbacks across
+        repeated waits.  Cancelling a callback that already ran (or was
+        cleared by ``fire``) is a no-op.
+        """
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
     def __repr__(self):
         state = "fired" if self._fired else "pending"
         return "SimEvent(%r, %s)" % (self.name, state)

@@ -1,0 +1,514 @@
+"""Compiled fast lane for hot world-switch/trap paths.
+
+The paper's Table I operations are tiny, fixed sequences of costed steps
+replayed thousands of times per benchmark cell.  Interpreting them step
+by step through the DES costs a generator resume, a heap push and a heap
+pop *per step*.  This module compiles such a path once — by recording a
+real interpreted execution and validating it against the committed
+PathSpec goldens (``specs/*.json``) — and replays later executions as a
+single atomic clock jump (:meth:`Engine.fast_advance`) plus the path's
+metric-counter deltas.
+
+Safety model (byte-identical reports on vs off):
+
+* A path is only compiled from a **pure** recorded run: the generator
+  body touched nothing on the engine (no spawns/schedules), every yield
+  was the ``Timeout`` of exactly one costed ``pcpu.op``, no foreign
+  event ran inside the window, the world state (vcpu/pcpu/arch/vm) came
+  back to a value-identical fixed point, and the only metric movement
+  was counter increments.  Anything else refuses to compile and the
+  path interprets forever after ``MAX_RECORD_FAILURES`` attempts.
+* The recorded step sequence must match the **committed spec goldens**
+  for the site's chain of functions, including the cycle value of every
+  cost reference (SPEC001-style drift ⇒ refuse-to-compile, fall back).
+* Replay re-resolves every cost reference **live** from the machine's
+  cost table, so monkeypatched costs are honored without invalidation.
+* The clock jump only happens when no queued event lies at or inside
+  the window (strictly: the queue head must be *past* ``now + total``
+  — an equal-time foreign event could interleave under interpretation)
+  and when it cannot overshoot an active run horizon.
+* The lane is unusable — pass-through interpretation — whenever the
+  sanitizer, the tracer, or span recording is active, so every
+  observability and SimSan mode sees the unmodified interpreter.
+
+Every ``REVALIDATE_EVERY`` hits an entry is dropped and re-recorded
+(re-recording *is* interpretation, so timing is identical either way).
+"""
+
+import json
+import os
+import pathlib
+
+from repro.sim.engine import Engine
+
+#: drop + re-record a compiled entry after this many replays
+REVALIDATE_EVERY = 256
+#: after this many refused recordings a vcpu's site interprets forever
+MAX_RECORD_FAILURES = 3
+
+
+def fastpath_enabled():
+    """Process-wide default from ``REPRO_FASTPATH`` (on unless 0/off)."""
+    return os.environ.get("REPRO_FASTPATH", "1").lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+def _default_spec_dir():
+    override = os.environ.get("REPRO_SPEC_DIR")
+    if override:
+        return pathlib.Path(override)
+    # src/repro/sim/fastpath.py -> sim -> repro -> src -> repo root
+    return pathlib.Path(__file__).resolve().parents[3] / "specs"
+
+
+_SPEC_CACHE = {}
+
+
+def load_committed_specs(spec_dir=None):
+    """{spec_id: spec} over every committed ``specs/*.json`` golden.
+
+    Missing or unreadable goldens yield an empty mapping — the lane then
+    refuses to compile anything and every path interprets (never crash).
+    """
+    spec_dir = pathlib.Path(spec_dir) if spec_dir is not None else _default_spec_dir()
+    key = str(spec_dir)
+    cached = _SPEC_CACHE.get(key)
+    if cached is not None:
+        return cached
+    committed = {}
+    if spec_dir.is_dir():
+        for path in sorted(spec_dir.glob("*.json")):
+            try:
+                document = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            for spec in document.get("specs", []):
+                spec_id = spec.get("id")
+                if spec_id:
+                    committed[spec_id] = spec
+    _SPEC_CACHE[key] = committed
+    return committed
+
+
+def _freeze(value):
+    """Immutable, value-comparable image of recorded world state.
+
+    Containers freeze recursively; unknown objects freeze by identity
+    (e.g. the Vcpu in ``pcpu.current_context`` — the *same* object must
+    be back in place, not an equal one).
+    """
+    if value is None or isinstance(value, (int, float, str, bool)):
+        return value
+    if isinstance(value, dict):
+        return ("d",) + tuple(
+            (_freeze(k), _freeze(v)) for k, v in value.items()
+        )
+    if isinstance(value, (list, tuple)):
+        return ("l",) + tuple(_freeze(v) for v in value)
+    return ("obj", id(value))
+
+
+def _path_guard(vcpu):
+    """The cheap per-replay precondition a compiled entry was keyed on."""
+    pcpu = vcpu.pcpu
+    arch = pcpu.arch
+    base = (
+        vcpu.state,
+        pcpu.current_context is vcpu,
+        len(vcpu.pending_virqs),
+    )
+    if vcpu.vmcs is not None:
+        return base + (
+            arch.root_mode,
+            arch.loaded_vmcs is vcpu.vmcs,
+            vcpu.vmcs.pending_injection,
+        )
+    return base + (
+        arch.current_el,
+        arch._e2h,
+        arch.virt_features_enabled,
+        arch.current_vmid,
+    )
+
+
+def _world_image(vcpu):
+    """Deep value-freeze of everything a wrapped path may touch.
+
+    Compared before/after a recording: a compiled path must be a strict
+    fixed point of the world, because replay restores *nothing*.
+    """
+    pcpu = vcpu.pcpu
+    arch = pcpu.arch
+    vm = vcpu.vm
+    items = [
+        _freeze(vcpu.state),
+        _freeze(list(vcpu.pending_virqs)),
+        _freeze(vcpu.saved_context),
+        _freeze(pcpu.current_context),
+        _freeze(getattr(pcpu, "host_context", None)),
+        _freeze(getattr(pcpu, "xen_idle_context", None)),
+        vm.vmid,
+        vm._irq_rr,
+        _freeze(tuple(vm.irq_affinity)),
+    ]
+    if vcpu.vif is not None:
+        items.append(_freeze(vcpu.vif.snapshot()))
+    if vcpu.vmcs is not None:
+        items.append(_freeze(vcpu.vmcs.guest_state))
+        items.append(_freeze(vcpu.vmcs.host_state))
+        items.append(_freeze(vcpu.vmcs.pending_injection))
+    if vcpu.vmcs is not None or not hasattr(arch, "current_el"):
+        items.append(
+            (
+                arch.root_mode,
+                ("obj", id(arch.loaded_vmcs)),
+                _freeze(arch.regs.snapshot()),
+            )
+        )
+    else:
+        items.append(
+            (
+                arch.current_el,
+                arch._e2h,
+                arch.virt_features_enabled,
+                arch.current_vmid,
+                _freeze(arch.regs.snapshot()),
+                _freeze(dict(arch._el2_extended)),
+            )
+        )
+    return tuple(items)
+
+
+def _metric_images(metrics):
+    """(counters, others) value images over every registered instrument."""
+    counters = []
+    others = []
+    for instrument in metrics:
+        kind = getattr(instrument, "kind", None)
+        if kind == "counter":
+            counters.append((instrument, instrument.value))
+        elif kind == "gauge":
+            others.append((instrument, instrument.value))
+        else:
+            others.append((instrument, getattr(instrument, "count", None)))
+    return counters, others
+
+
+def _match_chain(committed, chain, steps, costs):
+    """Validate recorded ``(label, cycles)`` steps against the committed
+    specs of the site's function chain.
+
+    Returns the list of live cost references (resolved again on every
+    replay) or ``None`` on any mismatch: unknown spec id, op/step
+    disagreement, or a cycle value drifting from the cost the spec
+    declares (the SPEC001 contract).  Only ``fall`` paths participate —
+    raise-terminated paths carry no steps and must never match.
+    """
+    chain_paths = []
+    for spec_id in chain:
+        spec = committed.get(spec_id)
+        if spec is None:
+            return None
+        fall_paths = [
+            path.get("steps", [])
+            for path in spec.get("paths", [])
+            if path.get("terminator") == "fall"
+        ]
+        if not fall_paths:
+            return None
+        chain_paths.append(fall_paths)
+
+    def match_path(spec_steps, index):
+        refs = []
+        for spec_step in spec_steps:
+            if "arch" in spec_step:
+                continue  # architectural effect, not a costed step
+            cost_kind = spec_step.get("cost_kind")
+            cost_name = spec_step.get("cost")
+            if cost_kind == "field":
+                if index >= len(steps):
+                    return None
+                label, cycles = steps[index]
+                expected = getattr(costs, cost_name, None)
+                if label != spec_step.get("op"):
+                    return None
+                if not isinstance(expected, int) or cycles != expected:
+                    return None
+                refs.append(("field", cost_name, None))
+                index += 1
+            elif cost_kind == "table":
+                op = spec_step.get("op", "")
+                if not op.endswith("*"):
+                    return None
+                prefix = op[:-1]
+                table = getattr(costs, cost_name, None)
+                if not isinstance(table, dict):
+                    return None
+                # Resolve register classes from the table's own keys so
+                # the sim layer never imports hw enums.
+                by_suffix = {
+                    getattr(reg_class, "name", str(reg_class)).lower(): reg_class
+                    for reg_class in table
+                }
+                matched = 0
+                while index < len(steps):
+                    label, cycles = steps[index]
+                    if not label.startswith(prefix):
+                        break
+                    reg_class = by_suffix.get(label[len(prefix):])
+                    if reg_class is None:
+                        break
+                    if table[reg_class] != cycles:
+                        return None
+                    refs.append(("table", cost_name, reg_class))
+                    index += 1
+                    matched += 1
+                if matched == 0:
+                    return None
+            else:
+                # method/external/literal costs have no stable live
+                # reference to re-resolve at replay: refuse.
+                return None
+        return refs, index
+
+    def match_from(chain_index, step_index):
+        if chain_index == len(chain_paths):
+            return [] if step_index == len(steps) else None
+        for spec_steps in chain_paths[chain_index]:
+            result = match_path(spec_steps, step_index)
+            if result is None:
+                continue
+            refs, next_index = result
+            rest = match_from(chain_index + 1, next_index)
+            if rest is not None:
+                return refs + rest
+        return None
+
+    return match_from(0, 0)
+
+
+class _CompiledPath:
+    """One vcpu's compiled execution of one site."""
+
+    __slots__ = ("guard", "refs", "counter_deltas", "value", "hits")
+
+    def __init__(self, guard, refs, counter_deltas, value):
+        self.guard = guard
+        self.refs = refs
+        self.counter_deltas = counter_deltas
+        self.value = value
+        self.hits = 0
+
+
+class FastSite:
+    """One wrapped operation (e.g. KVM's hypercall round trip).
+
+    ``chain`` is the ordered tuple of committed-spec ids whose ``fall``
+    paths, concatenated, must exactly produce the recorded steps.
+    """
+
+    __slots__ = ("lane", "name", "chain", "entries", "failures")
+
+    def __init__(self, lane, name, chain):
+        self.lane = lane
+        self.name = name
+        self.chain = tuple(chain)
+        self.entries = {}
+        self.failures = {}
+
+    def run(self, vcpu, factory):
+        """Replay the compiled path for ``vcpu`` or fall back to the
+        interpreted generator ``factory(vcpu)``.
+
+        A successful replay returns before its first yield, so the whole
+        operation completes synchronously inside one process resume.
+        """
+        lane = self.lane
+        if not lane.usable():
+            return (yield from factory(vcpu))
+        entry = self.entries.get(vcpu)
+        if entry is not None:
+            total = self._replay_total(entry, vcpu)
+            if total is not None:
+                lane.counters["hits"] += 1
+                engine = lane.machine.engine
+                engine.fast_advance(total)
+                for counter, delta in entry.counter_deltas:
+                    counter.value += delta
+                entry.hits += 1
+                if entry.hits % REVALIDATE_EVERY == 0:
+                    # periodic re-validation: force a fresh record pass
+                    del self.entries[vcpu]
+                return entry.value
+            # Transient miss (guard change, queued event inside the
+            # window, cost drift): interpret this one, keep the entry.
+            lane.counters["misses"] += 1
+            return (yield from factory(vcpu))
+        if self.failures.get(vcpu, 0) >= MAX_RECORD_FAILURES:
+            return (yield from factory(vcpu))
+        return (yield from self._record(vcpu, factory))
+
+    def _replay_total(self, entry, vcpu):
+        """Live cycle total for a replay, or None if it must interpret."""
+        if entry.guard != _path_guard(vcpu):
+            return None
+        costs = self.lane.machine.costs
+        total = 0
+        for kind, cost_name, reg_class in entry.refs:
+            resolved = getattr(costs, cost_name, None)
+            if kind == "table":
+                resolved = (
+                    resolved.get(reg_class) if isinstance(resolved, dict) else None
+                )
+            if not isinstance(resolved, int):
+                return None
+            total += resolved
+        if not self.lane.machine.engine.can_fast_advance(total):
+            return None
+        return total
+
+    def _record(self, vcpu, factory):
+        """Pass-through interpretation that also records and, when every
+        purity check holds, compiles the path.
+
+        The wrapped generator runs with *identical* timing to plain
+        interpretation — each of its yields is forwarded unchanged — so
+        a refused recording is indistinguishable from a normal run.
+        """
+        lane = self.lane
+        engine = lane.machine.engine
+        metrics = lane.machine.obs.metrics
+        guard = _path_guard(vcpu)
+        pre_world = _world_image(vcpu)
+        pre_counters, pre_others = _metric_images(metrics)
+        steps = []
+        lane.recording = steps
+        pure = True
+        try:
+            generator = factory(vcpu)
+            send_value = None
+            while True:
+                now_before = engine._now
+                seq_before = engine._seq
+                qlen_before = len(engine._queue)
+                steps_before = len(steps)
+                try:
+                    command = generator.send(send_value)
+                except StopIteration as stop:
+                    value = stop.value
+                    break
+                # The body between yields must be pure simulation-wise:
+                # no time movement, no schedules, exactly one recorded
+                # op whose Timeout is the command being yielded.
+                if (
+                    engine._now != now_before
+                    or engine._seq != seq_before
+                    or len(engine._queue) != qlen_before
+                    or len(steps) != steps_before + 1
+                    or type(command).__name__ != "Timeout"
+                    or steps[-1][1] != command.delay
+                ):
+                    pure = False
+                send_value = yield command
+                # Across the yield only our own resume may have run: one
+                # new schedule (seq +1), the queue back to its pre-yield
+                # depth (a foreign pop without a push would shrink it),
+                # and the clock advanced by exactly the step's cost.
+                if (
+                    engine._seq != seq_before + 1
+                    or len(engine._queue) != qlen_before
+                    or engine._now != now_before + command.delay
+                ):
+                    pure = False
+        finally:
+            lane.recording = None
+        if pure and value is None and _world_image(vcpu) == pre_world:
+            post_counters, post_others = _metric_images(metrics)
+            deltas = None
+            if len(post_counters) == len(pre_counters) and len(post_others) == len(
+                pre_others
+            ):
+                same_instruments = all(
+                    post is pre
+                    for (post, _), (pre, _) in zip(post_counters, pre_counters)
+                ) and all(
+                    post is pre and post_value == pre_value
+                    for (post, post_value), (pre, pre_value) in zip(
+                        post_others, pre_others
+                    )
+                )
+                if same_instruments:
+                    deltas = [
+                        (counter, value_after - value_before)
+                        for (counter, value_after), (_, value_before) in zip(
+                            post_counters, pre_counters
+                        )
+                        if value_after != value_before
+                    ]
+            if deltas is not None:
+                refs = _match_chain(
+                    lane.committed_specs(), self.chain, steps, lane.machine.costs
+                )
+                if refs is not None:
+                    self.entries[vcpu] = _CompiledPath(guard, refs, deltas, value)
+                    lane.counters["recordings"] += 1
+                    return value
+        self.failures[vcpu] = self.failures.get(vcpu, 0) + 1
+        lane.counters["rejects"] += 1
+        return value
+
+
+class FastLane:
+    """Per-machine fast-lane state: enablement, sites, and counters."""
+
+    def __init__(self, machine, enabled=None):
+        self.machine = machine
+        self.enabled = fastpath_enabled() if enabled is None else enabled
+        #: the live recording list a pass-through record run appends
+        #: ``(label, cycles)`` into from ``Pcpu.op`` (None when idle)
+        self.recording = None
+        self.counters = {
+            "hits": 0,
+            "misses": 0,
+            "recordings": 0,
+            "rejects": 0,
+        }
+        self.sites = []
+        self._committed = None
+        # Backref for the runner's per-engine accounting (pool.py reads
+        # ``engine.fastlane.counters`` when aggregating a cell).
+        machine.engine.fastlane = self
+
+    def usable(self):
+        """May a site replay (or record) right now?
+
+        Any observer that watches individual steps — SimSan, the step
+        tracer, span recording — forces pass-through interpretation, as
+        does a recording already in flight (no nested recording).
+        """
+        return (
+            self.enabled
+            and Engine.sanitizer is None
+            and not self.machine.tracer.enabled
+            and not self.machine.obs.spans.enabled
+            and self.recording is None
+        )
+
+    def committed_specs(self):
+        if self._committed is None:
+            self._committed = load_committed_specs()
+        return self._committed
+
+    def site(self, name, chain):
+        """Register a wrapped operation; returns its :class:`FastSite`."""
+        site = FastSite(self, name, chain)
+        self.sites.append(site)
+        return site
+
+    def snapshot(self):
+        """Plain-data counter snapshot for bench/pool accounting."""
+        return dict(self.counters)

@@ -122,7 +122,7 @@ class HackbenchSimulation:
         start = self.engine.now
         for pair in range(self.pairs):
             start_pair(pair)
-        self.engine.run_until_fired(finished, limit=int(1e15))
+        self.engine.run_until_fired(finished, deadline=int(1e15))
         return HackbenchSimResult(
             config=self.testbed.key,
             total_cycles=self.engine.now - start,

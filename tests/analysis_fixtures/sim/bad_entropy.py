@@ -37,3 +37,25 @@ def scan_in_hash_order(pending):
 def deterministic_drain(ready):
     for name in sorted(ready):
         ready.discard(name)
+
+
+class LeakyAllocator:
+    """Module-level counter: leaks across in-process cells."""
+
+    _next_id = 1
+
+    def __init__(self):
+        self.ident = LeakyAllocator._next_id
+        LeakyAllocator._next_id += 1  # expect: DET001
+
+
+class ScopedAllocator:
+    """Instance-scoped counter: resets with its owner — no finding."""
+
+    def __init__(self):
+        self._next_id = 1
+
+    def allocate(self):
+        ident = self._next_id
+        self._next_id += 1
+        return ident

@@ -1,0 +1,11 @@
+"""Shared test configuration.
+
+The bench document's warm-lane throughput probe defaults to 20000
+hypercall round trips per mode — meaningful for CI's speedup gate,
+pointless inside unit tests that only check document structure.  Shrink
+it unless a test opts back in by setting the variable itself.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_BENCH_PROBE_OPS", "200")

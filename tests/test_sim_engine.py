@@ -384,3 +384,207 @@ def test_join_process_that_finished_long_ago():
     engine.spawn(parent())
     engine.run()
     assert got == ["stale ok"]
+
+
+# --- AnyOf loser-callback lifecycle (regression: callbacks leaked) -------
+
+
+def test_anyof_losing_event_can_reset_after_race():
+    engine = Engine()
+    winner, loser = engine.event("winner"), engine.event("loser")
+    got = []
+
+    def waiter():
+        got.append((yield AnyOf([winner, loser])))
+
+    engine.spawn(waiter())
+    engine.schedule(5, lambda: winner.fire("w"))
+    engine.run()
+    assert got == [(0, "w")]
+    # The losing registration must have been cancelled: a long-lived
+    # event that lost a race is still resettable without tripping the
+    # pending-callback guard, and reusable afterwards.
+    loser.reset()
+    assert not loser.fired
+    loser.fire("later")
+    assert loser.value == "later"
+
+
+def test_anyof_repeated_waits_do_not_accumulate_callbacks():
+    engine = Engine()
+    winner, loser = engine.event("winner"), engine.event("loser")
+    got = []
+
+    def one_round():
+        got.append((yield AnyOf([winner, loser])))
+
+    for round_number in range(5):
+        engine.spawn(one_round())
+        engine.schedule(1, lambda: winner.fire(engine.now))
+        engine.run()
+        winner.reset()
+        # White box: the loser's callback list must stay empty across
+        # rounds — the pre-fix engine accumulated one entry per wait.
+        assert len(loser._callbacks) == 0
+        assert len(winner._callbacks) == 0
+    assert len(got) == 5
+    assert [index for index, _ in got] == [0] * 5
+
+
+def test_anyof_fire_then_reset_mid_wait_reuses_cleanly():
+    engine = Engine()
+    first, second = engine.event("first"), engine.event("second")
+    got = []
+
+    def waiter():
+        got.append((yield AnyOf([first, second])))
+
+    def fire_reset_refire():
+        first.fire("round1")
+        first.reset()
+
+    engine.spawn(waiter())
+    engine.schedule(3, fire_reset_refire)
+    engine.run()
+    # The wait was decided by the fire; the reset afterwards is legal
+    # because the race cancelled every registration it made.
+    assert got == [(0, "round1")]
+    assert not first.fired
+    # Both events are reusable for a fresh wait.
+    engine.spawn(waiter())
+    engine.schedule(4, lambda: second.fire("round2"))
+    engine.run()
+    assert got == [(0, "round1"), (1, "round2")]
+    assert len(first._callbacks) == 0 and len(second._callbacks) == 0
+
+
+def test_anyof_duplicate_membership_of_winner_wakes_once():
+    engine = Engine()
+    event = engine.event("dup")
+    other = engine.event("other")
+    got = []
+
+    def waiter():
+        got.append((yield AnyOf([event, other, event])))
+
+    engine.spawn(waiter())
+    engine.schedule(2, lambda: event.fire("x"))
+    engine.run()
+    # Lowest index of the duplicated winner, exactly one wake.
+    assert got == [(0, "x")]
+    assert len(event._callbacks) == 0 and len(other._callbacks) == 0
+    other.fire("later")
+    other.reset()
+
+
+def test_allof_duplicate_membership_counts_each_slot():
+    engine = Engine()
+    repeated, single = engine.event("repeated"), engine.event("single")
+    got = []
+
+    def waiter():
+        values = yield AllOf([repeated, single, repeated])
+        got.append((engine.now, values))
+
+    engine.spawn(waiter())
+    engine.schedule(10, lambda: repeated.fire("r"))
+    engine.schedule(20, lambda: single.fire("s"))
+    engine.run()
+    assert got == [(20, ["r", "s", "r"])]
+
+
+def test_anyof_prefired_tie_lowest_index_wins_with_duplicates():
+    engine = Engine()
+    event = engine.event("pre")
+    event.fire("v")
+    got = []
+
+    def waiter():
+        got.append((yield AnyOf([event, event])))
+
+    engine.spawn(waiter())
+    engine.run()
+    assert got == [(0, "v")]
+
+
+# --- run_until_fired absolute-deadline semantics -------------------------
+
+
+def test_run_until_fired_deadline_is_absolute_not_relative():
+    engine = Engine()
+    warmup = engine.event("warmup")
+    engine.schedule(1000, lambda: warmup.fire())
+    engine.run_until_fired(warmup)
+    assert engine.now == 1000
+    # A naively-relative "limit" of 500 would allow 500 more cycles; the
+    # documented semantics are absolute: the next event at t=1100 lies
+    # past deadline=500, so this must raise even though only 100 cycles
+    # of additional work are queued.
+    event = engine.event("late")
+    engine.schedule(100, lambda: event.fire("v"))
+    with pytest.raises(SimulationError):
+        engine.run_until_fired(event, deadline=500)
+    # Recovery with a real absolute deadline past `now`.
+    assert engine.run_until_fired(event, deadline=2000) == "v"
+    assert engine.now == 1100
+
+
+def test_run_until_fired_rejects_deadline_and_limit_together():
+    engine = Engine()
+    event = engine.event()
+    engine.schedule(1, lambda: event.fire())
+    with pytest.raises(SimulationError):
+        engine.run_until_fired(event, deadline=10, limit=10)
+
+
+def test_run_until_fired_limit_alias_still_accepted():
+    engine = Engine()
+    event = engine.event()
+    engine.schedule(5, lambda: event.fire("aliased"))
+    assert engine.run_until_fired(event, limit=100) == "aliased"
+
+
+# --- fast_advance / can_fast_advance -------------------------------------
+
+
+def test_fast_advance_jumps_clock_atomically():
+    engine = Engine()
+    assert engine.can_fast_advance(500)
+    engine.fast_advance(500)
+    assert engine.now == 500
+
+
+def test_fast_advance_refuses_to_cross_queued_event():
+    engine = Engine()
+    engine.schedule(100, lambda: None)
+    assert not engine.can_fast_advance(100)  # equal-time event must run
+    assert not engine.can_fast_advance(150)
+    assert engine.can_fast_advance(99)
+    with pytest.raises(SimulationError):
+        engine.fast_advance(100)
+
+
+def test_fast_advance_respects_run_horizon():
+    engine = Engine()
+    observed = []
+
+    def proc():
+        observed.append(engine.can_fast_advance(50))
+        observed.append(engine.can_fast_advance(51))
+        yield Timeout(0)
+
+    engine.spawn(proc())
+    engine.run(until=50)
+    # Inside run(until=50) a 50-cycle jump from t=0 is allowed (lands on
+    # the horizon) but 51 would overshoot it.
+    assert observed == [True, False]
+    # Outside any run loop the horizon is gone.
+    assert engine.can_fast_advance(10**9)
+
+
+def test_fast_advance_rejects_bad_delta():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.fast_advance(-1)
+    with pytest.raises(SimulationError):
+        engine.fast_advance(1.5)
