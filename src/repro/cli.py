@@ -17,6 +17,10 @@ Usage:
     python -m repro trace table3 -o trace.json   # Perfetto span trace
     python -m repro bench --jobs 4     # sharded suite + BENCH_suite.json
     python -m repro sanitize suite     # SimSan tie-order race sweep
+    python -m repro serve              # what-if query server (asyncio)
+    python -m repro query --target table2      # query a running server
+    python -m repro query --direct --target table2  # same, no server
+    python -m repro serve-bench        # service load-profile meta-bench
 
 Table commands accept ``--emit-json PATH`` to write the underlying
 results as JSON alongside the rendered table.
@@ -183,6 +187,107 @@ def _cmd_cache_verify(args, runner_bench):
     return 1 if quarantined else 0
 
 
+def _cmd_serve(args):
+    from repro.service import server as service_server
+
+    config = service_server.ServiceConfig.from_env(
+        host=args.host,
+        port=args.port,
+        admit_max=args.admit_max,
+        query_budget=args.query_budget,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    server = service_server.ServiceServer(config=config)
+
+    def announce(host, port):
+        print("serving on http://%s:%d" % (host, port), file=sys.stderr, flush=True)
+
+    return service_server.run_forever(server, announce=announce)
+
+
+def _parse_json_arg(text, name):
+    if not text:
+        return {}
+    try:
+        value = json.loads(text)
+    except ValueError:
+        raise SystemExit("--%s is not valid JSON: %r" % (name, text))
+    if not isinstance(value, dict):
+        raise SystemExit("--%s must be a JSON object" % name)
+    return value
+
+
+def _cmd_query(args):
+    from repro.errors import ReproError
+    from repro.service import client as service_client
+
+    client = service_client.ServiceClient(
+        host=args.host, port=args.port, timeout=args.timeout
+    )
+    if args.health:
+        ok = client.health()
+        print("ok" if ok else "unreachable")
+        return 0 if ok else 1
+    if args.show_metrics:
+        print(json.dumps(client.metrics(), indent=1))
+        return 0
+    if not args.target:
+        raise SystemExit("query requires --target (or --health/--metrics)")
+    params = _parse_json_arg(args.params, "params")
+    costs = _parse_json_arg(args.costs, "costs")
+    if args.direct:
+        from repro.runner.cache import ResultCache
+        from repro.service import queries as service_queries
+
+        cache = ResultCache(args.cache_dir) if args.cache_dir else None
+        try:
+            document = service_queries.direct_document(
+                args.target, params, costs, jobs=args.jobs, cache=cache
+            )
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+    else:
+        try:
+            document = client.query(
+                args.target,
+                params,
+                costs,
+                budget_cells=args.budget_cells,
+                deadline_ms=args.deadline_ms,
+            )
+        except service_client.ServiceError as exc:
+            # the stable error document, verbatim, on stderr
+            print(json.dumps(exc.document, indent=1), file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print("cannot reach service: %s" % exc, file=sys.stderr)
+            return 1
+    # NOT key-sorted: result_sha256 digests the result's insertion order
+    text = json.dumps(document, indent=1)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(
+            "%s %s -> %s" % (document["target"], document["result_sha256"][:16], args.output),
+            file=sys.stderr,
+        )
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_serve_bench(args):
+    from repro.service import loadgen
+
+    document = loadgen.run_profile(clients=args.clients)
+    loadgen.write_document(args.output, document)
+    print(loadgen.summary_text(document), file=sys.stderr)
+    print("wrote %s" % args.output, file=sys.stderr)
+    return 0 if all(phase["ok"] for phase in document["phases"]) else 1
+
+
 def _positive_int(text):
     value = int(text)
     if value < 1:
@@ -239,6 +344,9 @@ COMMANDS = {
     "trace": _cmd_trace,
     "bench": _cmd_bench,
     "sanitize": _cmd_sanitize,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
+    "serve-bench": _cmd_serve_bench,
 }
 
 
@@ -405,6 +513,157 @@ def build_parser():
         action="store_true",
         help="skip the shared-state multi-writer instrumentation "
         "(tie-break inversion only)",
+    )
+    from repro.service import protocol as service_protocol
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the asyncio what-if query server (JSON over HTTP); "
+        "serves until interrupted",
+    )
+    serve.add_argument(
+        "--host",
+        default=None,
+        help="bind address (default REPRO_SERVE_HOST or 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="TCP port, 0 for ephemeral (default REPRO_SERVE_PORT or %d)"
+        % service_protocol.DEFAULT_PORT,
+    )
+    serve.add_argument(
+        "--admit-max",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="queries in residence before shedding with 'overloaded' "
+        "(default REPRO_ADMIT_MAX or 64)",
+    )
+    serve.add_argument(
+        "--query-budget",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="max cells per query, 0 = unlimited "
+        "(default REPRO_QUERY_BUDGET or 0)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes per batch (default REPRO_JOBS or 1)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="content-addressed result cache (default REPRO_CACHE_DIR or off)",
+    )
+    query = sub.add_parser(
+        "query",
+        help="submit one what-if query to a running server (or compute it "
+        "directly with --direct) and print the response document",
+    )
+    query.add_argument(
+        "--host", default="127.0.0.1", help="server address (default 127.0.0.1)"
+    )
+    query.add_argument(
+        "--port",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="server port (default REPRO_SERVE_PORT or %d)"
+        % service_protocol.DEFAULT_PORT,
+    )
+    query.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=120.0,
+        metavar="SECONDS",
+        help="client socket timeout (default 120)",
+    )
+    query.add_argument("--target", help="report target (see /v1/targets)")
+    query.add_argument(
+        "--params",
+        metavar="JSON",
+        help="target parameters as a JSON object, e.g. '{\"key\": \"xen-arm\"}'",
+    )
+    query.add_argument(
+        "--costs",
+        metavar="JSON",
+        help="what-if cost overrides, e.g. '{\"arm\": {\"trap_to_el2\": 152}}'",
+    )
+    query.add_argument(
+        "--budget-cells",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="reject the query if it plans more than N cells",
+    )
+    query.add_argument(
+        "--deadline-ms",
+        type=_positive_float,
+        default=None,
+        metavar="MS",
+        help="give up (504) if the response takes longer than MS",
+    )
+    query.add_argument(
+        "--direct",
+        action="store_true",
+        help="bypass the server: run the same canonical query through the "
+        "runner in-process (the differential golden path)",
+    )
+    query.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for --direct (default 1)",
+    )
+    query.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="result cache for --direct (default off)",
+    )
+    query.add_argument(
+        "--health",
+        action="store_true",
+        help="just probe /healthz; exit 0 if the server answers ok",
+    )
+    query.add_argument(
+        "--metrics",
+        dest="show_metrics",
+        action="store_true",
+        help="print the server's /v1/metrics document and exit",
+    )
+    query.add_argument(
+        "-o", "--output", metavar="PATH", help="write the response document to PATH"
+    )
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="replay a serversim-style closed-loop load profile against an "
+        "in-process server and write a SERVICE_bench.json document",
+    )
+    serve_bench.add_argument(
+        "--clients",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="closed-loop client population (default 4)",
+    )
+    from repro.service.loadgen import DEFAULT_DOCUMENT_PATH as SERVICE_BENCH_PATH
+
+    serve_bench.add_argument(
+        "-o",
+        "--output",
+        default=SERVICE_BENCH_PATH,
+        metavar="PATH",
+        help="where to write the bench document (default %s)" % SERVICE_BENCH_PATH,
     )
     micro = sub.add_parser("micro", help="one platform's microbenchmark column")
     micro.add_argument(

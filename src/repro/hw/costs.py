@@ -17,8 +17,10 @@ Calibration sources:
 All costs are integers (cycles of the owning platform's CPU).
 """
 
+import contextlib
 import dataclasses
 
+from repro.errors import ConfigurationError
 from repro.hw.cpu.registers import RegClass
 
 
@@ -247,10 +249,155 @@ class X86Costs:
 
 
 def arm_costs():
-    """Fresh (mutable) ARM cost model — default calibration."""
-    return ArmCosts()
+    """Fresh (mutable) ARM cost model — default calibration plus any
+    active what-if overrides (see :func:`overriding`)."""
+    costs = ArmCosts()
+    if _ACTIVE_OVERRIDES:
+        _apply_section(costs, _ACTIVE_OVERRIDES.get("arm") or {})
+    return costs
 
 
 def x86_costs():
-    """Fresh (mutable) x86 cost model — default calibration."""
-    return X86Costs()
+    """Fresh (mutable) x86 cost model — default calibration plus any
+    active what-if overrides (see :func:`overriding`)."""
+    costs = X86Costs()
+    if _ACTIVE_OVERRIDES:
+        _apply_section(costs, _ACTIVE_OVERRIDES.get("x86") or {})
+    return costs
+
+
+# --- what-if overrides ------------------------------------------------------
+#
+# A what-if query ("how does Table II move if trap_to_el2 doubled?")
+# needs a *scoped* recalibration: every cost table built while the query
+# simulates must carry the overridden primitives, and nothing outside
+# the query may observe them.  Overrides are expressed as a document
+#
+#     {"arm": {"trap_to_el2": 152, "save.GP": 200}, "x86": {...}}
+#
+# where a plain key names a scalar dataclass field and a dotted
+# ``save.<CLASS>`` / ``restore.<CLASS>`` key names one register class of
+# the Table III sweep dicts.  ``repro.runner.cells`` installs a document
+# around one cell execution (the document travels inside the cell's
+# parameters, so spawned workers and the content-addressed cache key see
+# exactly what the parent sees).
+
+#: the override sections that address into a dict field (RegClass-keyed)
+_DICT_FIELDS = ("save", "restore")
+
+#: the currently installed override document (None = pure defaults)
+_ACTIVE_OVERRIDES = None
+
+
+def _override_targets(arch):
+    """(prototype instance, arch label) for one override section."""
+    if arch == "arm":
+        return ArmCosts()
+    if arch == "x86":
+        return X86Costs()
+    raise ConfigurationError(
+        "unknown cost-override arch %r (expected 'arm' or 'x86')" % (arch,)
+    )
+
+
+def _check_value(arch, field, value):
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            "cost override %s.%s must be an integer, got %r" % (arch, field, value)
+        )
+    if value < 0:
+        raise ConfigurationError(
+            "cost override %s.%s must be >= 0, got %d" % (arch, field, value)
+        )
+
+
+def _resolve_field(prototype, arch, field):
+    """Validate that ``field`` addresses a real primitive; returns a key."""
+    if "." in field:
+        table_name, _, reg_name = field.partition(".")
+        if table_name not in _DICT_FIELDS or not isinstance(
+            getattr(prototype, table_name, None), dict
+        ):
+            raise ConfigurationError(
+                "cost override %s.%s does not name a register-class table"
+                % (arch, field)
+            )
+        try:
+            RegClass[reg_name]
+        except KeyError:
+            raise ConfigurationError(
+                "cost override %s.%s: unknown register class %r (expected one "
+                "of %s)" % (arch, field, reg_name, [c.name for c in RegClass])
+            )
+        return field
+    if not hasattr(prototype, field) or not isinstance(
+        getattr(prototype, field), int
+    ):
+        raise ConfigurationError(
+            "cost override %s.%s does not name a scalar cost primitive"
+            % (arch, field)
+        )
+    return field
+
+
+def validate_overrides(document):
+    """Check a what-if override document; returns its canonical form.
+
+    The canonical form has sorted arch sections and sorted field names,
+    so two equivalent documents serialize identically (the cell cache
+    key and the service query key both depend on this).  Raises
+    :class:`~repro.errors.ConfigurationError` on any unknown arch,
+    field, register class, or non-integer value.
+    """
+    if not isinstance(document, dict):
+        raise ConfigurationError(
+            "cost overrides must be an object of per-arch sections, got %r"
+            % (document,)
+        )
+    canonical = {}
+    for arch in sorted(document):
+        section = document[arch]
+        prototype = _override_targets(arch)
+        if not isinstance(section, dict):
+            raise ConfigurationError(
+                "cost-override section %r must be an object, got %r"
+                % (arch, section)
+            )
+        if not section:
+            continue
+        fields = {}
+        for field in sorted(section):
+            value = section[field]
+            _check_value(arch, field, value)
+            fields[_resolve_field(prototype, arch, field)] = value
+        canonical[arch] = fields
+    return canonical
+
+
+def _apply_section(costs, section):
+    """Write one validated override section onto a fresh cost table."""
+    for field, value in section.items():
+        if "." in field:
+            table_name, _, reg_name = field.partition(".")
+            getattr(costs, table_name)[RegClass[reg_name]] = value
+        else:
+            setattr(costs, field, value)
+
+
+@contextlib.contextmanager
+def overriding(document):
+    """Install a what-if override document for the duration of a block.
+
+    Every :func:`arm_costs` / :func:`x86_costs` call inside the block —
+    testbed construction, cache-key derivation, fast-lane cost
+    re-resolution — sees the overridden primitives; the previous state
+    is restored on exit even if the block raises.  Documents do not
+    merge: nesting replaces the outer document wholesale.
+    """
+    global _ACTIVE_OVERRIDES
+    previous = _ACTIVE_OVERRIDES
+    _ACTIVE_OVERRIDES = validate_overrides(document) if document else None
+    try:
+        yield
+    finally:
+        _ACTIVE_OVERRIDES = previous

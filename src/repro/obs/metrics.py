@@ -192,8 +192,14 @@ class MetricsRegistry:
         return self._instruments.get(name)
 
     def snapshot(self):
-        """Ordered {name: plain-data snapshot} over all instruments."""
+        """Ordered {name: plain-data snapshot} over all instruments.
+
+        Iterates a shallow copy so a concurrent reader (the service's
+        ``/v1/metrics`` handler runs on the asyncio thread while the
+        broker worker registers instruments) never sees the dict change
+        size mid-iteration.
+        """
         return OrderedDict(
             (name, instrument.snapshot())
-            for name, instrument in self._instruments.items()
+            for name, instrument in list(self._instruments.items())
         )

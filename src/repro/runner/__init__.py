@@ -39,7 +39,12 @@ import os
 
 from repro.runner import bench, cache, cells, faults, merge, pool, resilience
 from repro.runner.cache import ResultCache
-from repro.runner.cells import CellSpec
+from repro.runner.cells import (
+    COSTS_PARAM,
+    CellSpec,
+    strip_cost_overrides,
+    with_cost_overrides,
+)
 from repro.runner.pool import (
     CellResult,
     RunOutcome,
@@ -88,6 +93,7 @@ def run_plan(specs, jobs=None, cache_dir=None, policy=None):
 
 
 __all__ = [
+    "COSTS_PARAM",
     "CellExecutionError",
     "CellFailure",
     "CellResult",
@@ -109,4 +115,6 @@ __all__ = [
     "run_cells",
     "run_cells_outcome",
     "run_plan",
+    "strip_cost_overrides",
+    "with_cost_overrides",
 ]

@@ -19,6 +19,7 @@ payload (:mod:`repro.runner.merge` reassembles the ``*_data`` shapes).
 """
 
 import dataclasses
+import json
 
 from repro.core.appbench import run_figure4
 from repro.core.breakdown import hypercall_breakdown
@@ -28,6 +29,7 @@ from repro.core.netanalysis import TcpRrBenchmark
 from repro.core.oversubscription import OversubscriptionExperiment
 from repro.core.testbed import build_testbed, native_testbed
 from repro.errors import ConfigurationError
+from repro.hw import costs as hw_costs
 from repro.paperdata import PLATFORM_ORDER
 from repro.runner import faults
 from repro.workloads import FIGURE4_WORKLOADS
@@ -77,6 +79,42 @@ class CellSpec:
 
 def _spec(kind, **params):
     return CellSpec(kind, tuple(sorted(params.items())))
+
+
+#: reserved parameter name carrying a what-if cost-override document
+#: (canonical JSON text; see :func:`with_cost_overrides`)
+COSTS_PARAM = "costs"
+
+
+def with_cost_overrides(spec, overrides):
+    """The same cell under a what-if cost-override document.
+
+    The document is validated and canonicalized
+    (:func:`repro.hw.costs.validate_overrides`) and then embedded in the
+    cell's parameters as compact sorted JSON — so the override travels
+    with the spec across process boundaries, distinguishes the cell's
+    content-addressed cache key from the default-calibration cell, and
+    shows up verbatim in the cell id (which fault plans key on).
+    """
+    if not overrides:
+        return spec
+    document = hw_costs.validate_overrides(overrides)
+    if not document:
+        return spec
+    params = dict(spec.params)
+    params[COSTS_PARAM] = json.dumps(
+        document, sort_keys=True, separators=(",", ":")
+    )
+    return CellSpec(spec.kind, tuple(sorted(params.items())))
+
+
+def strip_cost_overrides(spec):
+    """The default-calibration twin of an override-carrying cell."""
+    if COSTS_PARAM not in dict(spec.params):
+        return spec
+    return CellSpec(
+        spec.kind, tuple(item for item in spec.params if item[0] != COSTS_PARAM)
+    )
 
 
 # --- cell constructors (the vocabulary of the graph) ---------------------
@@ -184,12 +222,22 @@ def run_cell(spec, attempt=0):
     ``attempt`` is the cell's submission index (0 on the first try); it
     only matters to the deterministic fault-injection hook, which is a
     no-op unless ``REPRO_FAULT_PLAN`` is set (chaos tests / CI).
+
+    A cell carrying a ``costs`` parameter (see
+    :func:`with_cost_overrides`) simulates under that what-if override
+    document; the testbeds it builds see the overridden primitives and
+    nothing outside the cell does.
     """
     faults.on_run_cell(spec.id, attempt)
     runner = CELL_KINDS.get(spec.kind)
     if runner is None:
         raise ConfigurationError("unknown cell kind %r" % (spec.kind,))
-    return runner(spec.params_dict())
+    params = spec.params_dict()
+    encoded = params.pop(COSTS_PARAM, None)
+    if encoded is None:
+        return runner(params)
+    with hw_costs.overriding(json.loads(encoded)):
+        return runner(params)
 
 
 # --- grids ---------------------------------------------------------------

@@ -41,6 +41,7 @@ and ``runner.cache.quarantined``.
 import dataclasses
 import json
 import multiprocessing
+import threading
 import time
 import traceback
 from collections import OrderedDict
@@ -75,6 +76,14 @@ RESILIENCE_COUNTERS = (
 
 # test seam: backoff sleeps route through here
 _sleep = time.sleep
+
+#: serializes in-process cell execution across threads.  Cells were
+#: designed to run one-per-process (the pool spawns workers), but the
+#: service broker executes batches on its own thread while other code
+#: (tests, a --direct CLI query) may run cells on the main thread; the
+#: ``Engine.created_hook`` accounting seam is process-global, so two
+#: concurrent in-process executions would cross-record their engines.
+_EXECUTE_LOCK = threading.Lock()
 
 
 @dataclasses.dataclass
@@ -119,22 +128,23 @@ def execute_cell(spec, attempt=0):
     the error — the hook is restored either way.
     """
     created = []
-    previous_hook = Engine.created_hook
-    Engine.created_hook = created.append
-    start = time.perf_counter()
-    try:
-        payload = cells.run_cell(spec, attempt)
-    except Exception as exc:
-        raise CellExecutionError(
-            spec.id,
-            type(exc).__name__,
-            str(exc),
-            traceback.format_exc(),
-            engines=len(created),
-            simulated_cycles=sum(engine.now for engine in created),
-        ) from exc
-    finally:
-        Engine.created_hook = previous_hook
+    with _EXECUTE_LOCK:
+        previous_hook = Engine.created_hook
+        Engine.created_hook = created.append
+        start = time.perf_counter()
+        try:
+            payload = cells.run_cell(spec, attempt)
+        except Exception as exc:
+            raise CellExecutionError(
+                spec.id,
+                type(exc).__name__,
+                str(exc),
+                traceback.format_exc(),
+                engines=len(created),
+                simulated_cycles=sum(engine.now for engine in created),
+            ) from exc
+        finally:
+            Engine.created_hook = previous_hook
     metrics = MetricsRegistry()
     metrics.counter("runner.cell.engines").inc(len(created))
     metrics.counter("runner.cell.simulated_cycles").inc(

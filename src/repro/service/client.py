@@ -1,0 +1,165 @@
+"""Service clients: sync (``http.client``) and async (asyncio streams).
+
+The sync client backs ``python -m repro query`` and thread-based tests;
+the async client lets one thread hold many concurrent queries open —
+the shape the coalescing burst tests and the loadgen need.  Both raise
+:class:`ServiceError` for any non-ok response, carrying the server's
+stable error document verbatim.
+"""
+
+import asyncio
+import http.client
+import json
+import os
+
+from repro.errors import ReproError
+from repro.service import protocol
+
+
+class ServiceError(ReproError):
+    """A non-ok service response; carries the full error document."""
+
+    def __init__(self, status, document):
+        error = (document or {}).get("error") or {}
+        self.status = status
+        self.document = document or {}
+        self.code = error.get("code", protocol.INTERNAL)
+        super().__init__(
+            "service error %s (HTTP %d): %s"
+            % (self.code, status, error.get("message", "no message"))
+        )
+
+
+def _default_port():
+    text = os.environ.get("REPRO_SERVE_PORT")
+    return int(text) if text else protocol.DEFAULT_PORT
+
+
+def _query_payload(target, params, costs, budget_cells, deadline_ms):
+    payload = {"target": target}
+    if params:
+        payload["params"] = params
+    if costs:
+        payload["costs"] = costs
+    if budget_cells is not None:
+        payload["budget_cells"] = budget_cells
+    if deadline_ms is not None:
+        payload["deadline_ms"] = deadline_ms
+    return payload
+
+
+def _checked(status, document):
+    if status != 200 or not document.get("ok"):
+        raise ServiceError(status, document)
+    return document
+
+
+class ServiceClient:
+    """Blocking client: one HTTP connection per call, stdlib only."""
+
+    def __init__(self, host="127.0.0.1", port=None, timeout=120.0):
+        self.host = host
+        self.port = port if port is not None else _default_port()
+        self.timeout = timeout
+
+    def request(self, method, path, payload=None):
+        """Raw round trip; returns ``(status, document)`` unchecked."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = json.dumps(payload) if payload is not None else None
+            connection.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+            status = response.status
+        finally:
+            connection.close()
+        document = json.loads(text) if text.strip() else {}
+        return status, document
+
+    def query(
+        self,
+        target,
+        params=None,
+        costs=None,
+        budget_cells=None,
+        deadline_ms=None,
+    ):
+        """Submit one what-if query; returns the full success document."""
+        return _checked(
+            *self.request(
+                "POST",
+                "/v1/query",
+                _query_payload(target, params, costs, budget_cells, deadline_ms),
+            )
+        )
+
+    def query_raw(self, payload):
+        """Submit an arbitrary body; returns ``(status, document)``."""
+        return self.request("POST", "/v1/query", payload)
+
+    def health(self):
+        """True if the server answers ``/healthz`` with ok."""
+        try:
+            status, document = self.request("GET", "/healthz")
+        except (OSError, ValueError):
+            return False
+        return status == 200 and bool(document.get("ok"))
+
+    def metrics(self):
+        return _checked(*self.request("GET", "/v1/metrics"))
+
+    def targets(self):
+        return _checked(*self.request("GET", "/v1/targets"))
+
+
+class AsyncServiceClient:
+    """Non-blocking client for concurrent queries from one event loop."""
+
+    def __init__(self, host="127.0.0.1", port=None):
+        self.host = host
+        self.port = port if port is not None else _default_port()
+
+    async def request(self, method, path, payload=None):
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(
+                protocol.format_request(
+                    method, path, "%s:%d" % (self.host, self.port), payload
+                )
+            )
+            await writer.drain()
+            status, document = await protocol.read_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        return status, document
+
+    async def query(
+        self,
+        target,
+        params=None,
+        costs=None,
+        budget_cells=None,
+        deadline_ms=None,
+    ):
+        return _checked(
+            *await self.request(
+                "POST",
+                "/v1/query",
+                _query_payload(target, params, costs, budget_cells, deadline_ms),
+            )
+        )
+
+    async def query_raw(self, payload):
+        return await self.request("POST", "/v1/query", payload)
+
+    async def metrics(self):
+        return _checked(*await self.request("GET", "/v1/metrics"))

@@ -1,0 +1,80 @@
+"""Shared helpers for the service-layer tests.
+
+The pattern every concurrency/overload test uses: start an in-process
+server on an ephemeral port, optionally *hold* the broker so queries
+pile up deterministically, poll a metric until the pile-up is provably
+complete, then release and assert exact counters — no sleeps standing
+in for synchronization.
+"""
+
+import contextlib
+import threading
+import time
+
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig, start_in_thread
+
+#: generous wall-clock ceiling for any single wait (CI-safe, never hit
+#: on the happy path — the condition polls break out immediately)
+WAIT_S = 60.0
+
+
+@contextlib.contextmanager
+def running_server(**config_overrides):
+    """An in-process server + sync client on an ephemeral port."""
+    config_overrides.setdefault("port", 0)
+    handle = start_in_thread(config=ServiceConfig(**config_overrides))
+    try:
+        yield handle, ServiceClient(port=handle.port, timeout=WAIT_S)
+    finally:
+        handle.close()
+
+
+def wait_until(condition, message, timeout=WAIT_S):
+    """Poll ``condition()`` to True; fail loudly instead of hanging."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if condition():
+            return
+        time.sleep(0.005)
+    raise AssertionError("timed out waiting for %s" % message)
+
+
+def counter_value(handle, name):
+    return handle.metrics.counter(name).value
+
+
+class QueryThread(threading.Thread):
+    """One client query on its own thread, capturing document or error."""
+
+    def __init__(self, client, target, params=None, **kwargs):
+        super().__init__(daemon=True)
+        self._client = client
+        self._args = (target, params)
+        self._kwargs = kwargs
+        self.document = None
+        self.error = None
+
+    def run(self):
+        try:
+            self.document = self._client.query(*self._args, **self._kwargs)
+        except Exception as exc:  # ServiceError or transport trouble
+            self.error = exc
+
+    def result(self):
+        self.join(WAIT_S)
+        assert not self.is_alive(), "query thread wedged"
+        if self.error is not None:
+            raise self.error
+        return self.document
+
+
+def launch_queries(client, requests, **kwargs):
+    """Start one :class:`QueryThread` per (target, params) pair."""
+    threads = [
+        QueryThread(client, target, params, **kwargs)
+        for target, params in requests
+    ]
+    for thread in threads:
+        thread.start()
+    return threads

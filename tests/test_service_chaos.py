@@ -1,0 +1,146 @@
+"""Chaos through the service: faults cost retries, never bytes.
+
+The PR-4 fault plans (``REPRO_FAULT_PLAN``) are injected underneath a
+live server: crash, hang, transient, and corrupt-payload faults on a
+cell the query needs.  The invariants are the service twins of the
+runner chaos matrix — the response is byte-identical to the fault-free
+golden, the retries are visible in the shared metrics registry, and the
+admission gate is never wedged (a follow-up query always succeeds and
+``active`` returns to zero).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.runner import faults
+from repro.runner.resilience import RetryPolicy, payload_digest
+from repro.service import queries
+from repro.service.broker import SimulationBroker
+from repro.service.server import ServiceConfig, start_in_thread
+
+from tests.serviceutil import WAIT_S, ServiceClient, counter_value
+
+#: the cell every plan aims at (micro query, no cost overrides, so the
+#: executed cell id equals this base id)
+TARGET_CELL = "micro[key=kvm-arm]"
+
+#: far above real cell runtime (<1s), far below the injected 30s hang
+CELL_TIMEOUT_S = 5.0
+
+
+def _plan(name, kind, times=1):
+    return json.dumps(
+        {
+            "name": name,
+            "faults": [{"cell": TARGET_CELL, "kind": kind, "times": times}],
+        }
+    )
+
+
+def _policy(**overrides):
+    defaults = dict(max_retries=2, backoff_base_s=0.001, backoff_max_s=0.01)
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_plan_cache():
+    faults.reset_plan_cache()
+    yield
+    faults.reset_plan_cache()
+
+
+@pytest.fixture(scope="module")
+def golden_sha():
+    """Fault-free digest for the targeted query (the identity anchor)."""
+    assert "REPRO_FAULT_PLAN" not in os.environ
+    query, _ = queries.canonicalize(
+        {"target": "micro", "params": {"key": "kvm-arm"}}
+    )
+    result, _stats = queries.run_direct(query)
+    return payload_digest(result)
+
+
+def _faulty_server(jobs, policy):
+    """A server whose broker carries a chaos-tuned retry policy."""
+    broker = SimulationBroker(jobs=jobs, policy=policy)
+    return start_in_thread(config=ServiceConfig(port=0), broker=broker)
+
+
+class TestFaultsNeverMoveBytes:
+    def test_transient_fault_costs_retries_not_bytes(
+        self, monkeypatch, golden_sha
+    ):
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", _plan("svc-transient", "transient", times=2)
+        )
+        with _faulty_server(jobs=1, policy=_policy()) as handle:
+            client = ServiceClient(port=handle.port, timeout=WAIT_S)
+            document = client.query("micro", {"key": "kvm-arm"})
+            retries = counter_value(handle, "runner.cell.retries")
+        assert document["ok"] is True
+        assert document["result_sha256"] == golden_sha
+        assert retries == 2
+
+    @pytest.mark.parametrize(
+        "kind", ["crash", "hang", "transient", "corrupt-payload"]
+    )
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_fault_matrix_through_the_service(
+        self, monkeypatch, golden_sha, kind, jobs
+    ):
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", _plan("svc-%s-%d" % (kind, jobs), kind)
+        )
+        policy = _policy(
+            cell_timeout_s=CELL_TIMEOUT_S if jobs > 1 else None
+        )
+        with _faulty_server(jobs=jobs, policy=policy) as handle:
+            client = ServiceClient(port=handle.port, timeout=WAIT_S)
+            document = client.query("micro", {"key": "kvm-arm"})
+            # a worker crash is recovered by an uncharged requeue, the
+            # other kinds by a charged retry — either way the recovery
+            # is visible in the shared registry
+            recoveries = sum(
+                counter_value(handle, "runner.cell.%s" % name)
+                for name in ("retries", "requeues")
+            )
+            # the gate is not wedged: an untargeted query still works,
+            # and admission drains back to zero
+            follow_up = client.query("table3")
+            _status, health = client.request("GET", "/healthz")
+        assert document["ok"] is True
+        assert document["result_sha256"] == golden_sha
+        assert recoveries >= 1
+        assert follow_up["ok"] is True
+        assert health["active"] == 0
+
+
+class TestDoomedCells:
+    def test_exhausted_retries_become_cell_failed(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", _plan("svc-doom", "transient", times=99)
+        )
+        with _faulty_server(jobs=1, policy=_policy(max_retries=1)) as handle:
+            client = ServiceClient(port=handle.port, timeout=WAIT_S)
+            status, document = client.query_raw(
+                {"target": "micro", "params": {"key": "kvm-arm"}}
+            )
+            assert status == 500
+            assert document["ok"] is False
+            assert document["partial"] is False
+            assert document["error"]["code"] == "cell-failed"
+            failed = document["error"]["failed_cells"]
+            assert [entry["id"] for entry in failed] == [TARGET_CELL]
+
+            # the failure did not wedge admission: untargeted queries
+            # succeed, and clearing the plan heals the targeted one
+            assert client.query("table3")["ok"] is True
+            monkeypatch.delenv("REPRO_FAULT_PLAN")
+            faults.reset_plan_cache()
+            healed = client.query("micro", {"key": "kvm-arm"})
+            assert healed["ok"] is True
+            _status, health = client.request("GET", "/healthz")
+            assert health["active"] == 0

@@ -1,0 +1,172 @@
+"""CLI surface for the service: serve/query/serve-bench exit codes.
+
+Exercises ``python -m repro query`` in-process via ``cli.main`` — the
+direct path, the served path against a live in-thread server, the
+health probe, structured error exits, and the serve-bench document —
+and checks every artifact with ``tools/validate_service.py`` exactly as
+the CI job does.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro import cli
+from repro.runner.resilience import payload_digest
+from repro.service import queries
+
+from tests.serviceutil import running_server
+
+TOOLS_DIR = pathlib.Path(__file__).resolve().parent.parent / "tools"
+
+
+def _load_validator():
+    spec = importlib.util.spec_from_file_location(
+        "validate_service", TOOLS_DIR / "validate_service.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _direct_sha(target, params=None, costs=None):
+    query, _ = queries.canonicalize(
+        {"target": target, "params": params or {}, "costs": costs or {}}
+    )
+    result, _stats = queries.run_direct(query)
+    return payload_digest(result)
+
+
+class TestQueryDirect:
+    def test_direct_query_writes_a_valid_document(self, tmp_path, capsys):
+        out = tmp_path / "table2.json"
+        status = cli.main(
+            ["query", "--direct", "--target", "table2", "-o", str(out)]
+        )
+        assert status == 0
+        document = json.loads(out.read_text())
+        assert _load_validator().validate_document(document) == []
+        assert document["result_sha256"] == _direct_sha("table2")
+        stderr = capsys.readouterr().err
+        assert document["result_sha256"][:16] in stderr
+
+    def test_direct_query_prints_to_stdout_without_output(self, capsys):
+        status = cli.main(
+            [
+                "query", "--direct", "--target", "micro",
+                "--params", '{"key": "xen-arm"}',
+            ]
+        )
+        assert status == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["result_sha256"] == _direct_sha(
+            "micro", {"key": "xen-arm"}
+        )
+
+    def test_direct_query_with_costs_override(self, capsys):
+        costs = {"arm": {"trap_to_el2": 152}}
+        status = cli.main(
+            [
+                "query", "--direct", "--target", "micro",
+                "--params", '{"key": "kvm-arm"}',
+                "--costs", json.dumps(costs),
+            ]
+        )
+        assert status == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["result_sha256"] == _direct_sha(
+            "micro", {"key": "kvm-arm"}, costs
+        )
+
+    def test_bad_target_exits_nonzero(self, capsys):
+        status = cli.main(["query", "--direct", "--target", "bogus"])
+        assert status == 1
+        assert "bogus" in capsys.readouterr().err
+
+    def test_malformed_params_json_aborts(self):
+        with pytest.raises(SystemExit):
+            cli.main(
+                ["query", "--direct", "--target", "micro", "--params", "{oops"]
+            )
+
+
+class TestQueryServed:
+    def test_served_query_matches_direct(self, capsys):
+        with running_server() as (handle, _client):
+            status = cli.main(
+                [
+                    "query", "--port", str(handle.port),
+                    "--target", "micro", "--params", '{"key": "kvm-arm"}',
+                ]
+            )
+        assert status == 0
+        document = json.loads(capsys.readouterr().out)
+        assert _load_validator().validate_document(document) == []
+        assert document["result_sha256"] == _direct_sha(
+            "micro", {"key": "kvm-arm"}
+        )
+
+    def test_budget_reject_exits_one_with_error_document(self, capsys):
+        with running_server() as (handle, _client):
+            status = cli.main(
+                [
+                    "query", "--port", str(handle.port),
+                    "--target", "table2", "--budget-cells", "2",
+                ]
+            )
+        assert status == 1
+        document = json.loads(capsys.readouterr().err)
+        assert document["error"]["code"] == "budget-exceeded"
+        assert _load_validator().validate_document(document) == []
+
+    def test_unreachable_server_exits_one(self, capsys):
+        status = cli.main(
+            ["query", "--port", "1", "--target", "table3", "--timeout", "5"]
+        )
+        assert status == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_health_probe(self, capsys):
+        with running_server() as (handle, _client):
+            status = cli.main(
+                ["query", "--port", str(handle.port), "--health"]
+            )
+            assert status == 0
+            assert capsys.readouterr().out.strip() == "ok"
+        status = cli.main(["query", "--port", "1", "--health"])
+        assert status == 1
+        assert capsys.readouterr().out.strip() == "unreachable"
+
+    def test_metrics_flag_prints_a_valid_snapshot(self, capsys):
+        with running_server() as (handle, client):
+            client.query("micro", {"key": "kvm-arm"})
+            status = cli.main(
+                ["query", "--port", str(handle.port), "--metrics"]
+            )
+        assert status == 0
+        document = json.loads(capsys.readouterr().out)
+        assert _load_validator().validate_document(document) == []
+
+    def test_query_without_target_aborts(self):
+        with pytest.raises(SystemExit):
+            cli.main(["query", "--port", "1"])
+
+
+class TestServeBench:
+    def test_tiny_bench_run_validates(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        status = cli.main(["serve-bench", "--clients", "2", "-o", str(out)])
+        assert status == 0
+        document = json.loads(out.read_text())
+        assert _load_validator().validate_document(document) == []
+        assert document["clients"] == 2
+        names = [phase["name"] for phase in document["phases"]]
+        assert "burst" in names
+        burst = document["phases"][names.index("burst")]
+        # the burst phase is the coalescing proof: 2 identical clients,
+        # one simulated cell set
+        assert burst["stats"]["coalesced"] > 0
+        stderr = capsys.readouterr().err
+        assert "wrote %s" % out in stderr

@@ -1,0 +1,161 @@
+"""Admission control: overload sheds deterministically, never partially.
+
+``admit_max`` bounds queries in residence; at capacity the server sheds
+with a stable 503 *before* touching the query (no canonicalization, no
+broker submission), so a shed request is provably not partially
+executed.  Budget and deadline violations likewise return structured
+errors with ``partial: false`` and leave the service immediately
+usable.
+"""
+
+from repro.service.protocol import canonical_json
+
+from tests.serviceutil import (
+    QueryThread,
+    counter_value,
+    running_server,
+    wait_until,
+)
+
+
+def _requested(handle):
+    return counter_value(handle, "service.cells.requested")
+
+
+class TestOverloadShedding:
+    def test_at_capacity_sheds_with_stable_error(self):
+        with running_server(admit_max=1) as (handle, client):
+            handle.broker.hold()
+            try:
+                occupant = QueryThread(client, "table2", None)
+                occupant.start()
+                wait_until(
+                    lambda: _requested(handle) == 4,
+                    "the occupant to claim the only slot",
+                )
+                requested_before = _requested(handle)
+
+                status, document = client.query_raw({"target": "table3"})
+                assert status == 503
+                assert document["ok"] is False
+                assert document["partial"] is False
+                assert document["error"]["code"] == "overloaded"
+                assert document["error"]["active"] == 1
+                assert document["error"]["admit_max"] == 1
+
+                # shed before execution: the broker never saw it
+                assert _requested(handle) == requested_before
+                assert counter_value(handle, "service.admit.rejects") == 1
+
+                # shedding is deterministic, not probabilistic
+                for _ in range(3):
+                    repeat_status, repeat_doc = client.query_raw(
+                        {"target": "table3"}
+                    )
+                    assert repeat_status == 503
+                    assert canonical_json(repeat_doc) == canonical_json(
+                        document
+                    )
+            finally:
+                handle.broker.release()
+            assert occupant.result()["ok"] is True
+            # slot freed: the same query is now admitted and served
+            recovered = client.query("table3")
+            assert recovered["ok"] is True
+            _status, health = client.request("GET", "/healthz")
+            assert health["active"] == 0
+
+    def test_shed_request_is_rejected_even_if_malformed(self):
+        # admission is checked before parsing: a garbage query sheds
+        # with 503, not 400, proving nothing downstream ran
+        with running_server(admit_max=1) as (handle, client):
+            handle.broker.hold()
+            try:
+                occupant = QueryThread(client, "micro", {"key": "kvm-arm"})
+                occupant.start()
+                wait_until(
+                    lambda: _requested(handle) == 1,
+                    "the occupant to claim the only slot",
+                )
+                status, document = client.query_raw({"target": "bogus"})
+                assert status == 503
+                assert document["error"]["code"] == "overloaded"
+            finally:
+                handle.broker.release()
+            occupant.result()
+
+
+class TestBudgets:
+    def test_server_budget_rejects_before_execution(self):
+        with running_server(query_budget=2) as (handle, client):
+            status, document = client.query_raw({"target": "table2"})
+            assert status == 400
+            assert document["ok"] is False
+            assert document["partial"] is False
+            assert document["error"]["code"] == "budget-exceeded"
+            assert document["error"]["cells"] == 4
+            assert document["error"]["budget"] == 2
+            assert _requested(handle) == 0
+            assert counter_value(handle, "service.budget.rejects") == 1
+            # a query under budget still runs
+            assert client.query("micro", {"key": "kvm-arm"})["ok"] is True
+
+    def test_request_budget_rejects_too(self):
+        with running_server() as (handle, client):
+            status, document = client.query_raw(
+                {"target": "table2", "budget_cells": 3}
+            )
+            assert status == 400
+            assert document["error"]["code"] == "budget-exceeded"
+            assert _requested(handle) == 0
+
+    def test_effective_budget_is_the_minimum(self):
+        with running_server(query_budget=100) as (handle, client):
+            status, document = client.query_raw(
+                {"target": "table2", "budget_cells": 2}
+            )
+            assert status == 400
+            assert document["error"]["budget"] == 2
+        with running_server(query_budget=2) as (handle, client):
+            status, document = client.query_raw(
+                {"target": "table2", "budget_cells": 100}
+            )
+            assert status == 400
+            assert document["error"]["budget"] == 2
+
+
+class TestDeadlines:
+    def test_deadline_expires_with_structured_error_then_recovers(self):
+        with running_server() as (handle, client):
+            handle.broker.hold()
+            try:
+                status, document = client.query_raw(
+                    {
+                        "target": "micro",
+                        "params": {"key": "kvm-arm"},
+                        "deadline_ms": 50,
+                    }
+                )
+                assert status == 504
+                assert document["ok"] is False
+                assert document["partial"] is False
+                assert document["error"]["code"] == "deadline-exceeded"
+                assert document["error"]["deadline_ms"] == 50.0
+                assert (
+                    counter_value(handle, "service.deadline.expired") == 1
+                )
+            finally:
+                handle.broker.release()
+            # the expired query's cells keep running in the broker; a
+            # repeat without a deadline is served normally
+            document = client.query("micro", {"key": "kvm-arm"})
+            assert document["ok"] is True
+            _status, health = client.request("GET", "/healthz")
+            assert health["active"] == 0
+
+    def test_generous_deadline_is_not_an_error(self):
+        with running_server() as (_handle, client):
+            document = client.query(
+                "micro", {"key": "kvm-arm"}, deadline_ms=60000
+            )
+            assert document["ok"] is True
