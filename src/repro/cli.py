@@ -127,7 +127,9 @@ def _cmd_trace(args):
 
 
 def _cmd_bench(args):
+    from repro.errors import ConfigurationError
     from repro.runner import bench as runner_bench
+    from repro.runner.journal import JournalError
     from repro.runner.resilience import CellFailure, RetryPolicy
 
     if args.cache_verify:
@@ -136,28 +138,56 @@ def _cmd_bench(args):
         # Environment, not a parameter: worker processes must inherit
         # the setting so every cell interprets step by step.
         os.environ["REPRO_FASTPATH"] = "0"
-    policy = RetryPolicy.from_env(
-        max_retries=args.max_retries,
-        cell_timeout_s=args.cell_timeout,
-        keep_going=True if args.keep_going else None,
-    )
     try:
-        outcome = runner_bench.run_bench(
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            use_cache=not args.no_cache,
-            transactions=args.transactions,
-            policy=policy,
-        )
+        if args.resume is not None:
+            if args.no_cache:
+                raise ConfigurationError(
+                    "--resume needs the cache (the journal lives in it); "
+                    "drop --no-cache"
+                )
+            # jobs/policy default to the journaled run's own settings
+            outcome = runner_bench.resume_bench(
+                run_ref=args.resume,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+            )
+        else:
+            policy = RetryPolicy.from_env(
+                max_retries=args.max_retries,
+                cell_timeout_s=args.cell_timeout,
+                keep_going=True if args.keep_going else None,
+            )
+            outcome = runner_bench.run_bench(
+                jobs=args.jobs if args.jobs is not None else 1,
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+                transactions=args.transactions,
+                policy=policy,
+                run_id=args.run_id,
+            )
     except CellFailure as failure:
         # the structured abort: cell, attempts, tracebacks — on stderr
         print(failure.report_text(), file=sys.stderr)
+        return 1
+    except (JournalError, ConfigurationError) as exc:
+        print(str(exc), file=sys.stderr)
         return 1
     # The report goes to stdout (byte-identical to `repro all`); the
     # bench summary goes to stderr so redirected output stays clean.
     print(outcome.report)
     runner_bench.write_document(args.output, outcome.document)
     print(outcome.summary, file=sys.stderr)
+    journal_block = outcome.document.get("journal")
+    if journal_block and journal_block["resumed"]:
+        print(
+            "resumed %s: %d cell(s) recovered from the journal, %d re-simulated"
+            % (
+                journal_block["run_id"],
+                journal_block["completed_before"],
+                journal_block["resimulated"],
+            ),
+            file=sys.stderr,
+        )
     print("wrote %s" % args.output, file=sys.stderr)
     if outcome.document.get("failed_cells"):
         print(
@@ -197,6 +227,7 @@ def _cmd_serve(args):
         query_budget=args.query_budget,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        drain_timeout=args.drain_timeout,
     )
     server = service_server.ServiceServer(config=config)
 
@@ -222,8 +253,11 @@ def _cmd_query(args):
     from repro.errors import ReproError
     from repro.service import client as service_client
 
+    retry = service_client.RetryConfig.from_env(
+        retries=0 if args.no_retry else args.retries
+    )
     client = service_client.ServiceClient(
-        host=args.host, port=args.port, timeout=args.timeout
+        host=args.host, port=args.port, timeout=args.timeout, retry=retry
     )
     if args.health:
         ok = client.health()
@@ -411,9 +445,28 @@ def build_parser():
     bench.add_argument(
         "--jobs",
         type=_positive_int,
-        default=1,
+        default=None,
         metavar="N",
-        help="worker processes to fan cells out over (default 1: in-process)",
+        help="worker processes to fan cells out over (default 1: in-process; "
+        "under --resume, defaults to the original run's width)",
+    )
+    bench.add_argument(
+        "--resume",
+        nargs="?",
+        const="latest",
+        default=None,
+        metavar="RUN_ID",
+        help="resume an interrupted journaled run instead of starting fresh "
+        "(RUN_ID, or 'latest' when omitted); completed cells are recovered "
+        "from the cache, the rest re-simulate, and the report is "
+        "byte-identical to an uninterrupted run",
+    )
+    bench.add_argument(
+        "--run-id",
+        default=None,
+        metavar="ID",
+        help="name this run's journal (default REPRO_RUN_ID or a generated "
+        "id); the journal lands at <cache>/journal/<ID>.jsonl",
     )
     bench.add_argument(
         "--no-cache",
@@ -563,6 +616,14 @@ def build_parser():
         metavar="PATH",
         help="content-addressed result cache (default REPRO_CACHE_DIR or off)",
     )
+    serve.add_argument(
+        "--drain-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="max time to finish in-flight queries after SIGTERM/SIGINT "
+        "before stopping anyway (default REPRO_DRAIN_TIMEOUT or 30)",
+    )
     query = sub.add_parser(
         "query",
         help="submit one what-if query to a running server (or compute it "
@@ -629,6 +690,19 @@ def build_parser():
         default=None,
         metavar="PATH",
         help="result cache for --direct (default off)",
+    )
+    query.add_argument(
+        "--retries",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="retry budget for shed (503) and connection-reset responses "
+        "(default REPRO_CLIENT_RETRIES or 2)",
+    )
+    query.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="single-attempt: fail immediately on 503 or connection reset",
     )
     query.add_argument(
         "--health",

@@ -59,8 +59,9 @@ import os
 import time
 
 from repro.obs import MetricsRegistry
-from repro.runner import cells, merge
+from repro.runner import cells, faults, journal as journal_mod, merge
 from repro.runner.cache import ResultCache, model_fingerprint
+from repro.runner.journal import JournalError, RunJournal
 from repro.runner.pool import RESILIENCE_COUNTERS, run_cells_outcome
 from repro.runner.resilience import RetryPolicy
 
@@ -117,6 +118,22 @@ class BenchOutcome:
         return text
 
 
+def _journal_header(cache, specs, jobs, transactions, policy):
+    """The ``run-open`` payload: everything a sound resume must match."""
+    return {
+        "fingerprint": cache.base_fingerprint(),
+        "cells": [spec.id for spec in specs],
+        "jobs": jobs,
+        "transactions": transactions,
+        "policy": {
+            "max_retries": policy.max_retries,
+            "cell_timeout_s": policy.cell_timeout_s,
+            "keep_going": policy.keep_going,
+        },
+        "fault_plan": os.environ.get(faults.ENV_VAR) or None,
+    }
+
+
 def run_bench(
     jobs=1,
     cache_dir=DEFAULT_CACHE_DIR,
@@ -124,6 +141,7 @@ def run_bench(
     transactions=cells.DEFAULT_RR_TRANSACTIONS,
     policy=None,
     probe_ops=None,
+    run_id=None,
 ):
     """Run the bench grid; returns a :class:`BenchOutcome`.
 
@@ -135,27 +153,150 @@ def run_bench(
     environment; under ``keep_going`` a run with failed cells still
     yields a (partial) report and document with a ``failed_cells``
     section.
+
+    With the cache enabled the run is journaled under
+    ``<cache>/journal/<run_id>.jsonl`` (``run_id`` falls back to
+    ``REPRO_RUN_ID``, then to a generated id), which is what makes a
+    killed run recoverable via :func:`resume_bench`.
     """
     cache = ResultCache(cache_dir) if use_cache else None
     policy = policy if policy is not None else RetryPolicy.from_env()
     metrics = MetricsRegistry()
     specs = cells.bench_cells(transactions)
+    journal = None
+    if cache is not None:
+        if run_id is None:
+            run_id = os.environ.get(journal_mod.ENV_RUN_ID) or journal_mod.generate_run_id()
+        journal = RunJournal.create(
+            cache_dir, run_id, _journal_header(cache, specs, jobs, transactions, policy)
+        )
     start = time.perf_counter()
-    outcome = run_cells_outcome(
-        specs, jobs=jobs, cache=cache, policy=policy, metrics=metrics
-    )
-    wall_ms = (time.perf_counter() - start) * 1000.0
-    report = merge.full_report_text(
-        outcome.results, transactions, partial=bool(outcome.failures)
-    )
-    if probe_ops is None:
-        # test seam: REPRO_BENCH_PROBE_OPS shrinks the probe where wall
-        # time matters more than a stable speedup figure
-        probe_ops = int(os.environ.get("REPRO_BENCH_PROBE_OPS", PROBE_OPS))
-    perf = _perf_block(outcome, probe_ops)
-    document = _build_document(
-        outcome, jobs, policy, cache, cache_dir, wall_ms, report, perf
-    )
+    try:
+        outcome = run_cells_outcome(
+            specs, jobs=jobs, cache=cache, policy=policy, metrics=metrics,
+            journal=journal,
+        )
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        report = merge.full_report_text(
+            outcome.results, transactions, partial=bool(outcome.failures)
+        )
+        if probe_ops is None:
+            # test seam: REPRO_BENCH_PROBE_OPS shrinks the probe where wall
+            # time matters more than a stable speedup figure
+            probe_ops = int(os.environ.get("REPRO_BENCH_PROBE_OPS", PROBE_OPS))
+        perf = _perf_block(outcome, probe_ops)
+        document = _build_document(
+            outcome, jobs, policy, cache, cache_dir, wall_ms, report, perf
+        )
+        if journal is not None:
+            document["journal"] = {
+                "run_id": journal.run_id,
+                "path": str(journal.path),
+                "resumed": False,
+                "completed_before": 0,
+                "resimulated": sum(
+                    1 for result in outcome.results.values() if result.source == "run"
+                ),
+                "torn_tail": False,
+            }
+            journal.run_close(
+                document["report_sha256"], bool(outcome.failures)
+            )
+    finally:
+        if journal is not None:
+            journal.close()
+    return BenchOutcome(report=report, document=document)
+
+
+def resume_bench(
+    run_ref="latest",
+    jobs=None,
+    cache_dir=DEFAULT_CACHE_DIR,
+    policy=None,
+    probe_ops=None,
+):
+    """``bench --resume``: pick up an interrupted journaled run.
+
+    Replays the journal, refuses if the model fingerprint or cost
+    tables drifted since ``run-open`` (completed cells would no longer
+    be trustworthy), re-plans the same cell grid — journal-completed
+    cells resolve as verified cache hits, everything else re-simulates —
+    and emits a report byte-identical to an uninterrupted run.  ``jobs``
+    defaults to the original run's width but may differ (worker fan-out
+    cannot change payloads).  Raises
+    :class:`~repro.runner.journal.JournalError` on violated invariants
+    and ``ConfigurationError`` when there is nothing to resume.
+    """
+    path = journal_mod.find_journal(cache_dir, run_ref)
+    state = journal_mod.replay(path)
+    cache = ResultCache(cache_dir)
+    live = cache.base_fingerprint()
+    recorded = state.header.get("fingerprint")
+    if recorded != live:
+        raise JournalError(
+            "refusing to resume %s: the cache base fingerprint drifted "
+            "(journal %s…, live %s…) — the model source or cost tables "
+            "changed since run-open, so completed cells are stale; rerun "
+            "the bench from scratch" % (state.run_id, (recorded or "")[:12], live[:12])
+        )
+    transactions = state.header.get("transactions", cells.DEFAULT_RR_TRANSACTIONS)
+    specs = cells.bench_cells(transactions)
+    if [spec.id for spec in specs] != state.header.get("cells"):
+        raise JournalError(
+            "refusing to resume %s: the bench cell grid changed since "
+            "run-open (journal lists %d cells, this build plans %d)"
+            % (state.run_id, len(state.header.get("cells") or ()), len(specs))
+        )
+    if jobs is None:
+        jobs = state.header.get("jobs", 1)
+    if policy is None:
+        header_policy = state.header.get("policy") or {}
+        policy = RetryPolicy(
+            max_retries=header_policy.get("max_retries", 2),
+            cell_timeout_s=header_policy.get("cell_timeout_s"),
+            keep_going=header_policy.get("keep_going", False),
+        )
+    metrics = MetricsRegistry()
+    journal = RunJournal.open_existing(path)
+    start = time.perf_counter()
+    try:
+        journal.run_resume(jobs)
+        outcome = run_cells_outcome(
+            specs, jobs=jobs, cache=cache, policy=policy, metrics=metrics,
+            journal=journal,
+        )
+        for cell_id, record in state.completed.items():
+            result = outcome.results.get(cell_id)
+            expected = record.get("payload_sha256")
+            if result is not None and expected and result.payload_sha256 != expected:
+                raise JournalError(
+                    "resume invariant violated for cell %s: journal recorded "
+                    "payload %s…, resume produced %s… (cache/journal "
+                    "disagreement)" % (cell_id, expected[:12], result.payload_sha256[:12])
+                )
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        report = merge.full_report_text(
+            outcome.results, transactions, partial=bool(outcome.failures)
+        )
+        if probe_ops is None:
+            probe_ops = int(os.environ.get("REPRO_BENCH_PROBE_OPS", PROBE_OPS))
+        perf = _perf_block(outcome, probe_ops)
+        document = _build_document(
+            outcome, jobs, policy, cache, cache_dir, wall_ms, report, perf
+        )
+        document["journal"] = {
+            "run_id": journal.run_id,
+            "path": str(journal.path),
+            "resumed": True,
+            "completed_before": len(state.completed),
+            "resimulated": sum(
+                1 for result in outcome.results.values() if result.source == "run"
+            ),
+            "torn_tail": state.torn_tail,
+        }
+        journal.run_close(document["report_sha256"], bool(outcome.failures))
+    finally:
+        journal.close()
     return BenchOutcome(report=report, document=document)
 
 
@@ -259,6 +400,16 @@ def _build_document(outcome, jobs, policy, cache, cache_dir, wall_ms, report, pe
                 "keep_going": policy.keep_going,
             },
             swept_tmp=cache.swept_tmp if cache is not None else 0,
+            # scoreboard (ROADMAP item 5): run-level throughput figures
+            wall_clock_s=wall_ms / 1000.0,
+            cells_per_second=(
+                len(cell_rows) / (wall_ms / 1000.0) if wall_ms > 0 else 0.0
+            ),
+            cache_hit_rate=(
+                cache.hits / (cache.hits + cache.misses)
+                if cache is not None and (cache.hits + cache.misses)
+                else 0.0
+            ),
         ),
         "perf": perf,
         "report_sha256": hashlib.sha256(report.encode("utf-8")).hexdigest(),

@@ -36,6 +36,7 @@ import hashlib
 import json
 import os
 import pathlib
+import warnings
 
 import repro
 from repro.hw import costs as hw_costs
@@ -113,6 +114,8 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
+        self.write_errors = 0
+        self._warned_write_error = False
         self.swept_tmp = self._sweep_stale_tmp()
 
     # -- hygiene -----------------------------------------------------------
@@ -128,7 +131,10 @@ class ResultCache:
         if not self.directory.is_dir():
             return 0
         swept = 0
-        for scratch in self.directory.glob("*/*.json.tmp.*"):
+        scratch_files = list(self.directory.glob("*/*.json.tmp.*"))
+        # journal scratch (a run killed before its run-open rename landed)
+        scratch_files.extend(self.directory.glob("journal/*.jsonl.tmp.*"))
+        for scratch in scratch_files:
             suffix = scratch.name.rsplit(".", 1)[-1]
             alive = suffix.isdigit() and _pid_alive(int(suffix))
             if not alive:
@@ -250,13 +256,30 @@ class ResultCache:
             },
         }
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         scratch = path.with_name("%s.tmp.%d" % (path.name, os.getpid()))
-        # No sort_keys: payload dict order is meaningful (microbenchmark
-        # and workload row order) and must survive the round trip.
-        scratch.write_text(json.dumps(entry, indent=1) + "\n", encoding="utf-8")
-        os.replace(scratch, path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # No sort_keys: payload dict order is meaningful (microbenchmark
+            # and workload row order) and must survive the round trip.
+            scratch.write_text(json.dumps(entry, indent=1) + "\n", encoding="utf-8")
+            os.replace(scratch, path)
+        except OSError as exc:
+            # A full or read-only disk must cost cache coverage, not the
+            # cell: record the miss-to-be and carry on.
+            self.write_errors += 1
+            try:
+                scratch.unlink()
+            except OSError:
+                pass
+            if not self._warned_write_error:
+                self._warned_write_error = True
+                warnings.warn(
+                    "cache store failed (%s); continuing without caching "
+                    "(further write errors counted silently)" % exc
+                )
+            return False
         faults.maybe_poison_entry(result.spec.id, path)
+        return True
 
     def verify_entries(self):
         """Re-hash every entry; quarantine mismatches.  Returns a report.

@@ -39,14 +39,21 @@ Fault kinds:
   scribbled *after* the integrity digest is computed, so the parent's
   hash verification catches it;
 * ``poison-cache-entry`` — the entry just stored for the cell is
-  overwritten with garbage, so the next read must quarantine it.
+  overwritten with garbage, so the next read must quarantine it;
+* ``parent-kill`` — the *parent* process hard-exits (``os._exit(137)``,
+  the ``kill -9`` status) immediately after the cell's result has been
+  cached and journaled — the exact durability point the run journal
+  promises ``bench --resume`` can recover from.
 
 Worker-side kinds (crash/hang/transient/corrupt-payload) fire while the
 cell's attempt index is below the rule's cumulative ``times`` budget —
 attempt indices advance on every (re)submission, so a ``times: 1`` crash
 fires exactly once and the retry succeeds.  ``poison-cache-entry`` fires
 on the first ``times`` stores of the cell, counted in the parent process
-(stores never happen in workers).
+(stores never happen in workers).  ``parent-kill`` fires on the first
+``times`` *journaled completions* of the cell, also parent-side; a
+resumed run never re-executes the cell (it is a cache hit), so the same
+plan does not re-kill the resume.
 """
 
 import json
@@ -61,8 +68,8 @@ ENV_VAR = "REPRO_FAULT_PLAN"
 #: kinds decided by the cell's attempt index (fire in whichever process
 #: executes the cell)
 WORKER_KINDS = ("crash", "hang", "transient", "corrupt-payload")
-#: kinds decided by a parent-process store counter
-PARENT_KINDS = ("poison-cache-entry",)
+#: kinds decided by a parent-process counter (stores / completions)
+PARENT_KINDS = ("poison-cache-entry", "parent-kill")
 ALL_KINDS = WORKER_KINDS + PARENT_KINDS
 
 #: what a poisoned entry is overwritten with (deliberately unparseable)
@@ -118,6 +125,7 @@ class FaultPlan:
         self.seed = seed
         self.rules = list(rules)
         self._poison_fired = {}  # cell id -> stores poisoned so far
+        self._kill_fired = {}  # cell id -> completions killed so far
 
     def worker_rules(self, cell_id):
         return [
@@ -153,6 +161,21 @@ class FaultPlan:
         if fired >= budget:
             return False
         self._poison_fired[cell_id] = fired + 1
+        return True
+
+    def should_kill_parent(self, cell_id):
+        """True if the completion that just journaled must kill the parent."""
+        budget = sum(
+            rule.times
+            for rule in self.rules
+            if rule.cell == cell_id and rule.kind == "parent-kill"
+        )
+        if budget == 0:
+            return False
+        fired = self._kill_fired.get(cell_id, 0)
+        if fired >= budget:
+            return False
+        self._kill_fired[cell_id] = fired + 1
         return True
 
 
@@ -270,3 +293,17 @@ def maybe_poison_entry(cell_id, path):
             handle.write(POISON_BYTES)
         return True
     return False
+
+
+def maybe_parent_kill(cell_id):
+    """Post-journal hook (called from the pool's accept path).
+
+    Fires *after* the cell's result is cached and its ``cell-completed``
+    journal line is durable — ``os._exit(137)`` here is indistinguishable
+    from ``kill -9`` landing at the journal's strongest point, which is
+    exactly what the resume acceptance test needs to hit on demand.
+    Never fires inside a pool worker (workers do not journal).
+    """
+    plan = active_plan()
+    if plan is not None and not in_worker() and plan.should_kill_parent(cell_id):
+        os._exit(137)

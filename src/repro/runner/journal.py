@@ -1,0 +1,335 @@
+"""Crash-safe run journal: the write-ahead log behind ``bench --resume``.
+
+The content-addressed cache (:mod:`repro.runner.cache`) makes every
+*cell* durable — but nothing ties the cells of one run together, so a
+``SIGKILL``, OOM kill, or host reboot mid-run leaves no record of what
+the run was (which cell graph, which cost tables, which policy) or how
+far it got.  The journal is that record: an append-only JSONL file at
+``<cache>/journal/<run_id>.jsonl`` (schema ``repro-journal/1``) whose
+lines are written *ahead* of run progress and fsync'd, so the journal on
+disk is never behind reality by more than the line being appended when
+the process died.
+
+Events, in the order a run emits them:
+
+* ``run-open`` — run identity plus everything needed to decide whether a
+  later resume is sound: the cache **base fingerprint** (model source
+  hash + live cost tables), the ordered **cell graph** (ids and their
+  sha256), the retry policy, jobs, transactions, and the active fault
+  plan;
+* ``cell-completed`` — one per settled cell, carrying the result cache
+  key and ``payload_sha256`` (source ``cache`` for hits resolved at
+  planning time, ``run`` for fresh executions);
+* ``cell-submitted`` / ``cell-failed`` / ``cell-quarantined`` — progress
+  and incident records (a quarantine event marks a journal-referenced
+  cache entry that failed verification and was re-run);
+* ``run-resume`` — appended by every ``--resume`` before it continues
+  the run;
+* ``run-close`` — the rendered report's sha256; a journal without one is
+  an interrupted run.
+
+Durability contract: every append is flushed and ``fsync``'d before the
+run proceeds, and the journal file itself is created atomically (the
+``run-open`` line lands via tempfile + rename, so a half-created journal
+is a ``journal/*.tmp.<pid>`` orphan the cache sweep removes, never a
+torn first line).  Replay tolerates exactly one torn line — the final
+one, the append in flight when the process died; a torn line anywhere
+else is corruption and raises :class:`JournalError`.
+"""
+
+import dataclasses
+import json
+import os
+import pathlib
+import re
+import time
+
+from repro.errors import ConfigurationError, ReproError
+
+#: bump when the event layout changes; old journals refuse to resume.
+JOURNAL_SCHEMA = "repro-journal/1"
+
+#: subdirectory (inside the cache directory) holding run journals
+JOURNAL_DIR = "journal"
+
+#: names a fresh run's journal (CI uses it to resume deterministically)
+ENV_RUN_ID = "REPRO_RUN_ID"
+
+#: the event vocabulary (``tools/validate_journal.py`` enforces it)
+EVENT_KINDS = (
+    "run-open",
+    "cell-submitted",
+    "cell-completed",
+    "cell-failed",
+    "cell-quarantined",
+    "run-resume",
+    "run-close",
+)
+
+_RUN_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,80}$")
+
+
+class JournalError(ReproError):
+    """A corrupt journal, or a resume invariant that does not hold."""
+
+
+def validate_run_id(run_id):
+    """A filename-safe run id, or a clear ConfigurationError."""
+    if not isinstance(run_id, str) or not _RUN_ID_RE.match(run_id):
+        raise ConfigurationError(
+            "run id %r is not a valid journal name (want 1-81 chars of "
+            "[A-Za-z0-9._-], starting alphanumeric)" % (run_id,)
+        )
+    return run_id
+
+
+def generate_run_id():
+    """A fresh, collision-resistant, sortable run id.
+
+    Wall-clock prefixed so ``--resume latest`` and a directory listing
+    both read chronologically; pid + entropy suffixed so concurrent runs
+    sharing a cache never collide.  (Host time never reaches the model —
+    this names runner artifacts, like ``runner.cell.wall_ms``.)
+    """
+    return "run-%s-%d-%s" % (
+        time.strftime("%Y%m%d-%H%M%S"),
+        os.getpid(),
+        os.urandom(3).hex(),
+    )
+
+
+def journal_directory(cache_dir):
+    return pathlib.Path(cache_dir) / JOURNAL_DIR
+
+
+def journal_path(cache_dir, run_id):
+    return journal_directory(cache_dir) / (run_id + ".jsonl")
+
+
+class RunJournal:
+    """An open, append-only run journal (every append is fsync'd)."""
+
+    def __init__(self, path, run_id, handle):
+        self.path = pathlib.Path(path)
+        self.run_id = run_id
+        self._handle = handle
+
+    @classmethod
+    def create(cls, cache_dir, run_id, header):
+        """Open a new journal whose first line is the ``run-open`` event.
+
+        The file appears atomically (tempfile + rename): either the
+        journal exists with a complete, fsync'd ``run-open`` line, or it
+        does not exist at all.
+        """
+        validate_run_id(run_id)
+        path = journal_path(cache_dir, run_id)
+        if path.exists():
+            raise ConfigurationError(
+                "journal %s already exists (run id %r was already used; "
+                "resume it with --resume, or pick a fresh id)" % (path, run_id)
+            )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        event = dict(header, event="run-open", schema=JOURNAL_SCHEMA, run_id=run_id)
+        scratch = path.with_name("%s.tmp.%d" % (path.name, os.getpid()))
+        with open(scratch, "wb") as handle:
+            handle.write(_encode(event))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, path)
+        return cls(path, run_id, open(path, "ab"))
+
+    @classmethod
+    def open_existing(cls, path):
+        """Reopen an interrupted (or closed) journal for appending."""
+        path = pathlib.Path(path)
+        run_id = path.name[: -len(".jsonl")] if path.name.endswith(".jsonl") else path.name
+        return cls(path, run_id, open(path, "ab"))
+
+    # -- appends -----------------------------------------------------------
+
+    def append(self, event, **fields):
+        """One fsync'd JSONL line; returns only after it is durable."""
+        record = dict(fields, event=event)
+        self._handle.write(_encode(record))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def cell_submitted(self, cell_id):
+        self.append("cell-submitted", cell=cell_id)
+
+    def cell_completed(self, cell_id, key, payload_sha256, source):
+        self.append(
+            "cell-completed",
+            cell=cell_id,
+            key=key,
+            payload_sha256=payload_sha256,
+            source=source,
+        )
+
+    def cell_failed(self, cell_id, kind, error):
+        self.append("cell-failed", cell=cell_id, kind=kind, error=error)
+
+    def cell_quarantined(self, cell_id, key):
+        self.append("cell-quarantined", cell=cell_id, key=key)
+
+    def run_resume(self, jobs):
+        self.append("run-resume", run_id=self.run_id, jobs=jobs)
+
+    def run_close(self, report_sha256, partial):
+        self.append("run-close", report_sha256=report_sha256, partial=partial)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc_info):
+        self.close()
+        return False
+
+
+def _encode(record):
+    return (
+        json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+@dataclasses.dataclass
+class JournalState:
+    """Everything replay learned from one journal file."""
+
+    path: pathlib.Path
+    run_id: str
+    header: dict  # the run-open event, verbatim
+    completed: dict  # cell id -> {"key", "payload_sha256", "source"}
+    submitted: list  # cell ids, in submission order (first occurrence)
+    failed: list  # cell-failed events, in order
+    quarantined: list  # cell-quarantined events, in order
+    events: int  # decoded event count (torn tail excluded)
+    resumes: int  # run-resume events seen
+    closed: bool  # the journal's final decoded event is run-close
+    torn_tail: bool  # the final line was partial and was ignored
+
+
+def replay(path):
+    """Parse a journal into a :class:`JournalState`.
+
+    Tolerates a torn final line (the append in flight at death); any
+    other undecodable line raises :class:`JournalError`, as does a
+    journal that does not open with a ``run-open`` of our schema.
+    """
+    path = pathlib.Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise JournalError("cannot read journal %s: %s" % (path, exc))
+    chunks = raw.split(b"\n")
+    events = []
+    torn_tail = False
+    for index, chunk in enumerate(chunks):
+        if not chunk.strip():
+            continue
+        try:
+            event = json.loads(chunk.decode("utf-8"))
+            if not isinstance(event, dict) or "event" not in event:
+                raise ValueError("not an event object")
+        except (ValueError, UnicodeDecodeError):
+            if all(not later.strip() for later in chunks[index + 1 :]):
+                torn_tail = True  # the append in flight when the run died
+                break
+            raise JournalError(
+                "corrupt journal %s: undecodable line %d is not the final "
+                "line (torn tails are tolerated, interior corruption is not)"
+                % (path, index + 1)
+            )
+        events.append(event)
+    if not events:
+        raise JournalError("journal %s holds no complete events" % path)
+    header = events[0]
+    if header.get("event") != "run-open":
+        raise JournalError(
+            "journal %s does not start with run-open (got %r)"
+            % (path, header.get("event"))
+        )
+    if header.get("schema") != JOURNAL_SCHEMA:
+        raise JournalError(
+            "journal %s has schema %r, this build speaks %r"
+            % (path, header.get("schema"), JOURNAL_SCHEMA)
+        )
+    state = JournalState(
+        path=path,
+        run_id=header.get("run_id", ""),
+        header=header,
+        completed={},
+        submitted=[],
+        failed=[],
+        quarantined=[],
+        events=len(events),
+        resumes=0,
+        closed=False,
+        torn_tail=torn_tail,
+    )
+    seen_submitted = set()
+    for event in events[1:]:
+        kind = event["event"]
+        if kind == "cell-completed":
+            state.completed[event["cell"]] = {
+                "key": event.get("key"),
+                "payload_sha256": event.get("payload_sha256"),
+                "source": event.get("source"),
+            }
+        elif kind == "cell-submitted":
+            if event["cell"] not in seen_submitted:
+                seen_submitted.add(event["cell"])
+                state.submitted.append(event["cell"])
+        elif kind == "cell-failed":
+            state.failed.append(event)
+        elif kind == "cell-quarantined":
+            state.quarantined.append(event)
+        elif kind == "run-resume":
+            state.resumes += 1
+        elif kind == "run-open":
+            raise JournalError(
+                "journal %s holds a second run-open event" % path
+            )
+    state.closed = events[-1]["event"] == "run-close"
+    return state
+
+
+def find_journal(cache_dir, run_ref):
+    """Resolve ``--resume``'s argument to a journal path.
+
+    ``latest`` picks the most recently modified journal under
+    ``<cache>/journal/``; anything else is a literal run id.  Missing
+    journals raise a ConfigurationError that lists what *is* resumable.
+    """
+    directory = journal_directory(cache_dir)
+    if run_ref == "latest":
+        candidates = sorted(
+            directory.glob("*.jsonl"),
+            key=lambda path: (path.stat().st_mtime, path.name),
+        )
+        if not candidates:
+            raise ConfigurationError(
+                "no journals under %s — nothing to resume" % directory
+            )
+        return candidates[-1]
+    validate_run_id(run_ref)
+    path = journal_path(cache_dir, run_ref)
+    if not path.exists():
+        known = sorted(entry.stem for entry in directory.glob("*.jsonl"))
+        raise ConfigurationError(
+            "no journal for run id %r under %s%s"
+            % (
+                run_ref,
+                directory,
+                " (known runs: %s)" % ", ".join(known) if known else "",
+            )
+        )
+    return path

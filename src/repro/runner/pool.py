@@ -72,6 +72,7 @@ RESILIENCE_COUNTERS = (
     "runner.cell.degraded",
     "runner.cell.failed",
     "runner.cache.quarantined",
+    "runner.cache.write_error",
 )
 
 # test seam: backoff sleeps route through here
@@ -463,7 +464,7 @@ def _run_parallel(pending, jobs, policy, metrics, accept, failures):
                 pool.shutdown(wait=True, cancel_futures=True)
 
 
-def run_cells_outcome(specs, jobs=1, cache=None, policy=None, metrics=None):
+def run_cells_outcome(specs, jobs=1, cache=None, policy=None, metrics=None, journal=None):
     """Execute a cell list under a retry policy; returns :class:`RunOutcome`.
 
     ``jobs=1`` runs everything in-process (no subprocess overhead — the
@@ -471,6 +472,13 @@ def run_cells_outcome(specs, jobs=1, cache=None, policy=None, metrics=None):
     misses out over spawned worker processes (width clamped to the
     host's cores).  The result dict is always in (deduplicated) request
     order regardless of which worker finished first.
+
+    With a ``journal`` (an open :class:`repro.runner.journal.RunJournal`;
+    requires a ``cache``), every cell's fate is appended write-ahead:
+    hits resolved at planning time and fresh results in ``accept`` both
+    land as ``cell-completed`` lines *before* the run proceeds past
+    them, so ``bench --resume`` after a hard kill trusts exactly the
+    cells whose completion made it to disk.
     """
     jobs = resilience.validate_jobs(jobs)
     policy = policy if policy is not None else RetryPolicy.from_env()
@@ -483,17 +491,30 @@ def run_cells_outcome(specs, jobs=1, cache=None, policy=None, metrics=None):
     pending = []
     keys = {}
     quarantined_before = cache.quarantined if cache is not None else 0
+    write_errors_before = cache.write_errors if cache is not None else 0
     if cache is not None:
         base = cache.base_fingerprint()
         for spec in ordered:
             key = keys[spec.id] = cache.key_for(spec, base)
+            quarantined_mark = cache.quarantined
             entry = cache.load(key)
             if entry is None:
+                if journal is not None and cache.quarantined > quarantined_mark:
+                    # a journal-referenced (or just stale) entry failed
+                    # verification: record the incident, then re-run
+                    journal.cell_quarantined(spec.id, key)
                 pending.append(spec)
             else:
                 results[spec.id] = _from_cache(spec, entry)
+                if journal is not None:
+                    journal.cell_completed(
+                        spec.id, key, results[spec.id].payload_sha256, "cache"
+                    )
     else:
         pending = list(ordered)
+    if journal is not None:
+        for spec in pending:
+            journal.cell_submitted(spec.id)
 
     def accept(result):
         """A verified result: record it and persist it immediately —
@@ -501,15 +522,45 @@ def run_cells_outcome(specs, jobs=1, cache=None, policy=None, metrics=None):
         results[result.spec.id] = result
         if cache is not None:
             cache.store(keys[result.spec.id], result)
+        if journal is not None:
+            journal.cell_completed(
+                result.spec.id,
+                keys.get(result.spec.id),
+                result.payload_sha256,
+                "run",
+            )
+            # chaos hook: die *here*, right after the completion line is
+            # durable — the strongest point the journal promises to hold
+            faults.maybe_parent_kill(result.spec.id)
 
-    if pending:
-        if jobs > 1:
-            _run_parallel(pending, jobs, policy, metrics, accept, failures)
-        else:
-            _run_serial(pending, policy, metrics, accept, failures)
+    try:
+        if pending:
+            if jobs > 1:
+                _run_parallel(pending, jobs, policy, metrics, accept, failures)
+            else:
+                _run_serial(pending, policy, metrics, accept, failures)
+    except resilience.CellFailure as exc:
+        if journal is not None:
+            for failed in exc.failed_cells:
+                journal.cell_failed(
+                    failed.cell_id,
+                    failed.attempts[-1].kind if failed.attempts else "unknown",
+                    failed.attempts[-1].error if failed.attempts else "",
+                )
+        raise
+    if journal is not None:
+        for failed in failures:
+            journal.cell_failed(
+                failed.cell_id,
+                failed.attempts[-1].kind if failed.attempts else "unknown",
+                failed.attempts[-1].error if failed.attempts else "",
+            )
     if cache is not None:
         metrics.counter("runner.cache.quarantined").inc(
             cache.quarantined - quarantined_before
+        )
+        metrics.counter("runner.cache.write_error").inc(
+            cache.write_errors - write_errors_before
         )
     return RunOutcome(
         results=OrderedDict(

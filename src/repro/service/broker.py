@@ -26,6 +26,16 @@ cells.
 broker queues submissions without executing, so a test can pile up a
 coalescing burst, assert the registry state, and then let one batch
 run — no sleeps, no timing assumptions.
+
+The worker thread is **supervised**: each spawn gets a generation
+number, and an unexpected death (any escaping exception — ``_execute``
+already converts cell failures to verdicts, so only genuine worker bugs
+or injected chaos reach here) fails every pending future of the dead
+generation with a ``worker-death`` verdict — a waiter is *never*
+wedged — and respawns a fresh worker, so the broker keeps serving
+(``service.worker.deaths`` / ``.respawns`` count the churn).  The
+``_boom`` attribute is the chaos seam: the worker raises it after
+passing the hold gate, making death deterministic in tests.
 """
 
 import dataclasses
@@ -47,6 +57,8 @@ BROKER_COUNTERS = (
     "service.cells.cached",
     "service.cells.failed",
     "service.batches",
+    "service.worker.deaths",
+    "service.worker.respawns",
 )
 
 
@@ -76,6 +88,8 @@ class SimulationBroker:
         self._gate.set()
         self._closed = False
         self._thread = None
+        self._generation = 0  # bumps on every worker (re)spawn
+        self._boom = None  # chaos seam: raised by the worker post-gate
 
     # --- submission ------------------------------------------------------
 
@@ -136,16 +150,70 @@ class SimulationBroker:
     # --- worker ----------------------------------------------------------
 
     def _ensure_thread(self):
-        if self._thread is None:
+        # caller holds self._lock
+        if self._thread is None or not self._thread.is_alive():
+            self._generation += 1
             self._thread = threading.Thread(
-                target=self._run, name="repro-service-broker", daemon=True
+                target=self._supervise,
+                args=(self._generation,),
+                name="repro-service-broker",
+                daemon=True,
             )
             self._thread.start()
+
+    def _supervise(self, generation):
+        """The thread target: run the loop; on escape, fail-and-respawn."""
+        try:
+            self._run()
+        except BaseException as exc:  # worker bug or injected chaos
+            self._on_worker_death(generation, exc)
+
+    def _on_worker_death(self, generation, exc):
+        """Fail every future of the dead generation, then respawn.
+
+        The futures registry and pending queue are snapshotted and
+        cleared under the lock, so a concurrent submit lands cleanly in
+        the *next* generation; the verdicts are resolved outside the
+        lock (waiters may run callbacks inline).
+        """
+        with self._lock:
+            if generation != self._generation:
+                return  # a stale corpse; a newer worker owns the state
+            dead = list(self._inflight.items())
+            self._inflight.clear()
+            self._pending.clear()
+            self._thread = None
+            closed = self._closed
+        self.metrics.counter("service.worker.deaths").inc()
+        self.metrics.gauge("service.queue.cells").set(0)
+        for cell_id, (_spec, future) in dead:
+            if future.set_running_or_notify_cancel():
+                future.set_result(
+                    (
+                        "failed",
+                        {
+                            "id": cell_id,
+                            "kind": "worker-death",
+                            "error": "broker worker died: %s: %s"
+                            % (type(exc).__name__, exc),
+                        },
+                    )
+                )
+            self.metrics.counter("service.cells.failed").inc()
+        if not closed:
+            with self._lock:
+                if not self._closed:
+                    self._ensure_thread()
+                    self.metrics.counter("service.worker.respawns").inc()
 
     def _run(self):
         while True:
             self._wake.wait()
             self._gate.wait()
+            boom = self._boom
+            if boom is not None:
+                self._boom = None
+                raise boom
             with self._lock:
                 batch = list(self._pending)
                 self._pending.clear()

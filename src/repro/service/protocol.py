@@ -140,21 +140,28 @@ async def read_request(reader):
     return method, path, headers, body
 
 
-def format_response(status, document):
+def format_response(status, document, headers=None):
     """One complete HTTP response (headers + JSON body) as bytes.
 
     The body is **not** key-sorted: a success document's ``result``
     member must keep its assembly insertion order, because
     ``result_sha256`` is the digest of exactly those bytes re-encoded
     canonically (``repro.runner.resilience.payload_digest``).
+
+    ``headers`` adds extra response headers (e.g. ``Retry-After`` on the
+    shed/drain 503s) — names and values must be latin-1 safe.
     """
     body = (json.dumps(document) + "\n").encode("utf-8")
+    extra = ""
+    for name, value in (headers or {}).items():
+        extra += "%s: %s\r\n" % (name, value)
     head = (
         "HTTP/1.1 %d %s\r\n"
         "Content-Type: application/json\r\n"
         "Content-Length: %d\r\n"
+        "%s"
         "Connection: close\r\n"
-        "\r\n" % (status, _REASONS.get(status, "OK"), len(body))
+        "\r\n" % (status, _REASONS.get(status, "OK"), len(body), extra)
     )
     return head.encode("latin-1") + body
 

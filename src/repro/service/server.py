@@ -26,6 +26,7 @@ import asyncio
 import dataclasses
 import json
 import os
+import signal
 import sys
 import threading
 
@@ -40,9 +41,14 @@ ENV_HOST = "REPRO_SERVE_HOST"
 ENV_PORT = "REPRO_SERVE_PORT"
 ENV_ADMIT_MAX = "REPRO_ADMIT_MAX"
 ENV_QUERY_BUDGET = "REPRO_QUERY_BUDGET"
+ENV_DRAIN_TIMEOUT = "REPRO_DRAIN_TIMEOUT"
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_ADMIT_MAX = 64
+DEFAULT_DRAIN_TIMEOUT = 30.0
+
+#: the Retry-After we advise on shed/drain 503s (seconds)
+RETRY_AFTER_S = 1
 
 #: server-owned instruments (pre-registered; see broker.BROKER_COUNTERS)
 SERVER_COUNTERS = (
@@ -81,10 +87,20 @@ class ServiceConfig:
     query_budget: int = 0  # max cells per query; 0 = unlimited
     jobs: int = 1
     cache_dir: str = None
+    drain_timeout: float = DEFAULT_DRAIN_TIMEOUT
 
     @classmethod
     def from_env(cls, environ=None, **overrides):
         environ = os.environ if environ is None else environ
+        drain_text = environ.get(ENV_DRAIN_TIMEOUT)
+        try:
+            drain_timeout = (
+                float(drain_text) if drain_text else DEFAULT_DRAIN_TIMEOUT
+            )
+        except ValueError:
+            raise ConfigurationError(
+                "%s=%r is not a number" % (ENV_DRAIN_TIMEOUT, drain_text)
+            )
         config = cls(
             host=environ.get(ENV_HOST) or DEFAULT_HOST,
             port=_env_int(environ, ENV_PORT, protocol.DEFAULT_PORT, 0),
@@ -94,6 +110,7 @@ class ServiceConfig:
                 environ.get(resilience.ENV_JOBS) or "1"
             ),
             cache_dir=environ.get("REPRO_CACHE_DIR") or None,
+            drain_timeout=drain_timeout,
         )
         for name, value in overrides.items():
             if value is not None:
@@ -123,12 +140,17 @@ class ServiceServer:
             self.metrics.counter(name)
         self.metrics.gauge("service.admit.active")
         self._active = 0  # queries admitted and not yet answered
+        self._draining = False  # set once; new queries 503 shutting-down
         self._server = None
         self.port = None
 
     @property
     def active(self):
         return self._active
+
+    @property
+    def draining(self):
+        return self._draining
 
     # --- lifecycle --------------------------------------------------------
 
@@ -144,6 +166,32 @@ class ServiceServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    def begin_drain(self):
+        """Flip admission off: every new query 503s ``shutting-down``.
+
+        Already-admitted queries (and the broker batch carrying them)
+        keep running to completion — draining sheds *future* work only.
+        """
+        self._draining = True
+
+    async def drain(self, timeout=None):
+        """Wait for residence to empty; True if fully drained in time.
+
+        The drain condition is "no admitted query is still waiting and
+        the broker's in-flight registry is empty" — i.e. zero queries
+        can be dropped by stopping now.
+        """
+        self.begin_drain()
+        if timeout is None:
+            timeout = self.config.drain_timeout
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while self._active > 0 or self.broker.inflight_count() > 0:
+            if loop.time() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        return True
 
     # --- connection handling ----------------------------------------------
 
@@ -165,7 +213,12 @@ class ServiceServer:
                         protocol.INTERNAL,
                         "%s: %s" % (type(exc).__name__, exc),
                     )
-            writer.write(protocol.format_response(status, document))
+            headers = None
+            if isinstance(document, dict):
+                retry_after = (document.get("error") or {}).get("retry_after")
+                if retry_after is not None:
+                    headers = {"Retry-After": str(retry_after)}
+            writer.write(protocol.format_response(status, document, headers))
             await writer.drain()
         finally:
             writer.close()
@@ -179,7 +232,7 @@ class ServiceServer:
             return 200, {
                 "schema": protocol.SCHEMA,
                 "ok": True,
-                "status": "ok",
+                "status": "draining" if self._draining else "ok",
                 "active": self._active,
                 "admit_max": self.config.admit_max,
             }
@@ -209,6 +262,15 @@ class ServiceServer:
 
     async def _query(self, body):
         self.metrics.counter("service.queries").inc()
+        if self._draining:
+            # drain phase: shed before admission, advise a retry — the
+            # peer instance (or the restarted one) will take it
+            self.metrics.counter("service.admit.rejects").inc()
+            return 503, protocol.error_document(
+                protocol.SHUTTING_DOWN,
+                "server is draining for shutdown",
+                retry_after=RETRY_AFTER_S,
+            )
         if self._active >= self.config.admit_max:
             # shed-on-overload: reject *before* canonicalization so a
             # shed request costs no planning and enqueues nothing
@@ -218,6 +280,7 @@ class ServiceServer:
                 "admission queue at capacity (%d active)" % self._active,
                 active=self._active,
                 admit_max=self.config.admit_max,
+                retry_after=RETRY_AFTER_S,
             )
         self._active += 1
         self.metrics.gauge("service.admit.active").set(self._active)
@@ -333,15 +396,48 @@ def _discard_result(task):
 
 
 def run_forever(server, announce=None):
-    """Foreground mode (``python -m repro serve``): serve until SIGINT."""
+    """Foreground mode (``python -m repro serve``): serve until signaled.
+
+    SIGTERM and SIGINT both trigger the graceful drain state machine:
+
+    1. **draining** — admission flips off (new queries shed with 503
+       ``shutting-down`` + ``Retry-After``) while admitted queries and
+       the broker's in-flight batch run to completion;
+    2. **drained** — residence hit zero (or ``drain_timeout`` expired —
+       logged, never hung);
+    3. **stopped** — listener closed, broker closed, and a final metrics
+       snapshot flushed to stderr.
+
+    Always returns 0 on a signaled shutdown: a drain that ran out of
+    time is an operational warning, not a failed process.
+    """
 
     async def body():
         port = await server.start()
         if announce is not None:
             announce(server.config.host, port)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        handled = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                handled.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or exotic platform: Ctrl-C still works
         try:
-            await asyncio.Event().wait()
+            await stop.wait()
+            print("draining (max %.0fs)" % server.config.drain_timeout, file=sys.stderr)
+            drained = await server.drain()
+            if not drained:
+                print(
+                    "drain timeout after %.0fs: %d query(ies) still active"
+                    % (server.config.drain_timeout, server.active),
+                    file=sys.stderr,
+                )
         finally:
+            for signum in handled:
+                loop.remove_signal_handler(signum)
             await server.stop()
 
     try:
@@ -350,6 +446,14 @@ def run_forever(server, announce=None):
         print("shutting down", file=sys.stderr)
     finally:
         server.broker.close()
+        # final metrics snapshot: the run's counters survive the process
+        print(
+            json.dumps(
+                {"event": "final-metrics", "metrics": server.metrics.snapshot()}
+            ),
+            file=sys.stderr,
+        )
+        sys.stderr.flush()
     return 0
 
 
@@ -373,6 +477,18 @@ class ServerHandle:
     @property
     def metrics(self):
         return self.server.metrics
+
+    def begin_drain(self):
+        """Flip the server into draining (thread-safe: it's one flag)."""
+        self.server.begin_drain()
+
+    def drain(self, timeout=None):
+        """Run the drain coroutine on the server loop; True if drained."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(timeout), self._loop
+        )
+        budget = timeout if timeout is not None else self.server.config.drain_timeout
+        return future.result(budget + 30.0)
 
     def close(self):
         try:

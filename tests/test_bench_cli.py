@@ -23,11 +23,22 @@ def _load_validate_bench():
 class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["bench"])
-        assert args.jobs == 1
+        # None resolves to 1 for a fresh run; --resume reads the
+        # journaled run's width instead
+        assert args.jobs is None
         assert args.no_cache is False
         assert args.cache_dir == ".repro-cache"
         assert args.output == "BENCH_suite.json"
         assert args.transactions == 40
+        assert args.resume is None
+        assert args.run_id is None
+
+    def test_resume_flag_defaults_to_latest(self):
+        assert build_parser().parse_args(["bench", "--resume"]).resume == "latest"
+        assert (
+            build_parser().parse_args(["bench", "--resume", "run-1"]).resume
+            == "run-1"
+        )
 
     def test_jobs_flag(self):
         assert build_parser().parse_args(["bench", "--jobs", "4"]).jobs == 4

@@ -1,0 +1,232 @@
+"""Client retry discipline: bounded, jittered, and exactly counted.
+
+Queries are idempotent (deterministic simulation, content-addressed
+results), so the ``query`` helper retries connection resets and
+retryable 503s (``overloaded``, ``shutting-down``) with bounded
+deterministic-jitter backoff, honoring the server's ``retry_after``
+advice.  ``request`` and ``query_raw`` stay single-attempt by contract
+— the overload tests count exact server-side rejects through them.
+
+Attempt counts are exact everywhere: scripted transports make the
+round trips observable, and the end-to-end test counts the server's
+``service.admit.rejects`` against the retry budget.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import protocol
+from repro.service.client import (
+    DEFAULT_RETRIES,
+    AsyncServiceClient,
+    RetryConfig,
+    ServiceClient,
+    ServiceError,
+)
+
+from tests.serviceutil import WAIT_S, counter_value, running_server
+
+OK_DOC = {"ok": True, "result": "fine"}
+
+
+def _error_doc(code, retry_after=None):
+    error = {"code": code, "message": "scripted"}
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    return {"ok": False, "error": error}
+
+
+def _scripted(client, outcomes):
+    """Replace ``client.request`` with a script; returns the call log."""
+    calls = []
+
+    def request(method, path, payload=None):
+        calls.append((method, path))
+        outcome = outcomes[min(len(calls), len(outcomes)) - 1]
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    client.request = request
+    return calls
+
+
+def _capture_sleeps(client):
+    sleeps = []
+    client._sleep = sleeps.append
+    return sleeps
+
+
+class TestRetryConfig:
+    def test_defaults_and_env(self):
+        assert RetryConfig.from_env(environ={}).retries == DEFAULT_RETRIES
+        assert (
+            RetryConfig.from_env(environ={"REPRO_CLIENT_RETRIES": "5"}).retries == 5
+        )
+        assert (
+            RetryConfig.from_env(environ={"REPRO_CLIENT_RETRIES": "0"}).retries == 0
+        )
+
+    @pytest.mark.parametrize("bad", ["many", "-1", "1.5"])
+    def test_bad_env_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            RetryConfig.from_env(environ={"REPRO_CLIENT_RETRIES": bad})
+
+    def test_overrides_skip_none(self):
+        config = RetryConfig.from_env(
+            environ={"REPRO_CLIENT_RETRIES": "7"}, retries=None, backoff_max_s=9.0
+        )
+        assert config.retries == 7
+        assert config.backoff_max_s == 9.0
+
+    def test_backoff_is_deterministic_jittered_and_bounded(self):
+        config = RetryConfig(backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=0.3)
+        for attempt, ceiling in ((0, 0.1), (1, 0.2), (2, 0.3), (9, 0.3)):
+            delay = config.backoff_s(attempt)
+            assert delay == config.backoff_s(attempt)  # same pid, same attempt
+            assert ceiling * 0.5 <= delay < ceiling  # jitter in [0.5, 1.0)
+
+    def test_retry_delay_honors_budget_code_and_advice(self):
+        config = RetryConfig(retries=2)
+        advised = _error_doc(protocol.OVERLOADED, retry_after=7)
+        assert config.retry_delay(0, advised) == 7.0
+        assert config.retry_delay(2, advised) is None  # budget spent
+        assert config.retry_delay(0, _error_doc(protocol.BAD_REQUEST)) is None
+        # shutting-down is retryable; junk advice falls back to backoff
+        junk = _error_doc(protocol.SHUTTING_DOWN, retry_after="whenever")
+        delay = config.retry_delay(1, junk)
+        assert delay == config.backoff_s(1)
+
+
+class TestScriptedSyncRetry:
+    def _client(self, retries=2):
+        return ServiceClient(port=1, retry=RetryConfig(retries=retries))
+
+    def test_retries_503_until_success_honoring_retry_after(self):
+        client = self._client()
+        calls = _scripted(
+            client,
+            [
+                (503, _error_doc(protocol.OVERLOADED, retry_after=5)),
+                (503, _error_doc(protocol.SHUTTING_DOWN, retry_after=7)),
+                (200, OK_DOC),
+            ],
+        )
+        sleeps = _capture_sleeps(client)
+        assert client.query("table3") == OK_DOC
+        assert len(calls) == 3
+        assert sleeps == [5.0, 7.0]
+
+    def test_exhausted_budget_raises_with_exact_attempts(self):
+        client = self._client(retries=2)
+        calls = _scripted(client, [(503, _error_doc(protocol.OVERLOADED, 0))])
+        _capture_sleeps(client)
+        with pytest.raises(ServiceError) as excinfo:
+            client.query("table3")
+        assert excinfo.value.code == protocol.OVERLOADED
+        assert len(calls) == 3  # 1 attempt + 2 retries, never more
+
+    def test_non_retryable_error_is_immediate(self):
+        client = self._client()
+        calls = _scripted(client, [(400, _error_doc(protocol.BAD_REQUEST))])
+        with pytest.raises(ServiceError) as excinfo:
+            client.query("table3")
+        assert excinfo.value.code == protocol.BAD_REQUEST
+        assert len(calls) == 1
+
+    def test_connection_reset_retried_then_succeeds(self):
+        client = self._client()
+        calls = _scripted(
+            client,
+            [ConnectionResetError("peer"), ConnectionResetError("peer"), (200, OK_DOC)],
+        )
+        sleeps = _capture_sleeps(client)
+        assert client.query("table3") == OK_DOC
+        assert len(calls) == 3
+        assert sleeps == [client.retry.backoff_s(0), client.retry.backoff_s(1)]
+
+    def test_connection_reset_exhausts_and_reraises(self):
+        client = self._client(retries=1)
+        calls = _scripted(client, [ConnectionResetError("peer")])
+        _capture_sleeps(client)
+        with pytest.raises(ConnectionResetError):
+            client.query("table3")
+        assert len(calls) == 2
+
+    def test_retries_zero_is_strict_single_attempt(self):
+        client = self._client(retries=0)
+        calls = _scripted(client, [(503, _error_doc(protocol.OVERLOADED, 0))])
+        with pytest.raises(ServiceError):
+            client.query("table3")
+        assert len(calls) == 1
+
+    def test_query_raw_never_retries(self):
+        client = self._client(retries=5)
+        calls = _scripted(client, [(503, _error_doc(protocol.OVERLOADED, 0))])
+        status, document = client.query_raw({"target": "table3"})
+        assert status == 503
+        assert document["error"]["code"] == protocol.OVERLOADED
+        assert len(calls) == 1
+
+
+class TestScriptedAsyncRetry:
+    def test_async_query_retries_then_succeeds(self):
+        client = AsyncServiceClient(port=1, retry=RetryConfig(retries=2))
+        calls = []
+        outcomes = [
+            ConnectionResetError("peer"),
+            (503, _error_doc(protocol.SHUTTING_DOWN, retry_after=3)),
+            (200, OK_DOC),
+        ]
+
+        async def request(method, path, payload=None):
+            calls.append((method, path))
+            outcome = outcomes[len(calls) - 1]
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        sleeps = []
+
+        async def sleep(delay):
+            sleeps.append(delay)
+
+        client.request = request
+        client._sleep = sleep
+        assert asyncio.run(client.query("table3")) == OK_DOC
+        assert len(calls) == 3
+        assert sleeps == [client.retry.backoff_s(0), 3.0]
+
+    def test_async_budget_exhaustion(self):
+        client = AsyncServiceClient(port=1, retry=RetryConfig(retries=1))
+        calls = []
+
+        async def request(method, path, payload=None):
+            calls.append(1)
+            return 503, _error_doc(protocol.OVERLOADED, retry_after=0)
+
+        async def sleep(_delay):
+            pass
+
+        client.request = request
+        client._sleep = sleep
+        with pytest.raises(ServiceError):
+            asyncio.run(client.query("table3"))
+        assert len(calls) == 2
+
+
+class TestEndToEndAgainstDrainingServer:
+    def test_retry_budget_counts_exact_server_rejects(self):
+        with running_server() as (handle, _client):
+            handle.begin_drain()
+            client = ServiceClient(
+                port=handle.port, timeout=WAIT_S, retry=RetryConfig(retries=2)
+            )
+            client._sleep = lambda _delay: None  # keep the test instant
+            with pytest.raises(ServiceError) as excinfo:
+                client.query("table3")
+            assert excinfo.value.code == protocol.SHUTTING_DOWN
+            # 1 attempt + 2 retries, each shed at admission — exactly 3
+            assert counter_value(handle, "service.admit.rejects") == 3

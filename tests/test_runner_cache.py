@@ -272,3 +272,64 @@ class TestEntryRoundTrip:
         assert warm.wall_ms == 0.0  # a hit simulates nothing
         assert cold.simulated_cycles > 0
         assert cold.engines > 0
+
+
+class TestWriteHardening:
+    """A full or read-only disk costs cache coverage, never the cell."""
+
+    def test_store_oserror_degrades_to_recorded_miss(self, cache, monkeypatch):
+        def refuse(_src, _dst):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr("repro.runner.cache.os.replace", refuse)
+        with pytest.warns(UserWarning, match="cache store failed"):
+            result = run_cells([MICRO], cache=cache)[MICRO.id]
+        assert result.source == "run"  # the cell itself still ran
+        assert cache.write_errors == 1
+        # the scratch file was cleaned up, nothing half-written survives
+        assert not list(cache.directory.glob("*/*.json*"))
+
+    def test_write_error_warns_once_then_counts_silently(self, cache, monkeypatch):
+        monkeypatch.setattr(
+            "repro.runner.cache.os.replace",
+            lambda _src, _dst: (_ for _ in ()).throw(OSError("read-only")),
+        )
+        other = cells.micro("kvm-x86")
+        with pytest.warns(UserWarning) as caught:
+            run_cells([MICRO], cache=cache)
+            run_cells([other], cache=cache)
+        assert cache.write_errors == 2
+        assert (
+            sum("cache store failed" in str(w.message) for w in caught) == 1
+        )
+
+    def test_failed_store_is_a_miss_on_the_next_run(self, cache, monkeypatch):
+        def refuse(_src, _dst):
+            raise OSError("full")
+
+        monkeypatch.setattr("repro.runner.cache.os.replace", refuse)
+        with pytest.warns(UserWarning):
+            run_cells([MICRO], cache=cache)
+        monkeypatch.undo()
+        # the entry never landed, so the rerun simulates (and now stores)
+        rerun = run_cells([MICRO], cache=cache)[MICRO.id]
+        assert rerun.source == "run"
+        assert run_cells([MICRO], cache=cache)[MICRO.id].source == "cache"
+
+
+class TestJournalScratchSweep:
+    def test_dead_journal_scratch_swept(self, cache):
+        journal_dir = cache.directory / "journal"
+        journal_dir.mkdir(parents=True, exist_ok=True)
+        dead = journal_dir / ("run-x.jsonl.tmp.%d" % (2**22 + 1))
+        dead.write_text("partial run-open")
+        live = journal_dir / ("run-y.jsonl.tmp.%d" % os.getpid())
+        live.write_text("mid-create")
+        settled = journal_dir / "run-z.jsonl"
+        settled.write_text('{"event":"run-open"}\n')
+
+        swept = ResultCache(cache.directory)
+        assert not dead.exists()
+        assert live.exists()  # writer pid is alive: a concurrent create
+        assert settled.exists()  # real journals are never touched
+        assert swept.swept_tmp == 1

@@ -37,8 +37,11 @@ RESILIENCE_COUNTERS = (
     "degraded",
     "failed",
     "quarantined",
+    "write_error",
     "swept_tmp",
 )
+#: scoreboard figures (ROADMAP item 5): run-level throughput numbers
+SCOREBOARD_FIELDS = ("wall_clock_s", "cells_per_second", "cache_hit_rate")
 ATTEMPT_KINDS = {"exception", "timeout", "pool-crash", "corrupt-payload"}
 
 
@@ -118,6 +121,7 @@ def validate(path):
 
     problems.extend(_validate_resilience(path, document))
     problems.extend(_validate_perf(path, document))
+    problems.extend(_validate_journal(path, document))
     problems.extend(_validate_failed_cells(path, document))
 
     digest = document.get("report_sha256")
@@ -143,6 +147,14 @@ def _validate_resilience(path, document):
             problems.append(
                 "%s: resilience.%s=%r is not a non-negative int" % (path, key, block.get(key))
             )
+    for key in SCOREBOARD_FIELDS:
+        if not _is_nonneg_number(block.get(key)):
+            problems.append(
+                "%s: resilience.%s=%r is not a non-negative number" % (path, key, block.get(key))
+            )
+    hit_rate = block.get("cache_hit_rate")
+    if _is_nonneg_number(hit_rate) and hit_rate > 1.0:
+        problems.append("%s: resilience.cache_hit_rate=%r is not in [0, 1]" % (path, hit_rate))
     policy = block.get("policy")
     if not isinstance(policy, dict):
         problems.append("%s: resilience.policy is not an object" % path)
@@ -223,6 +235,30 @@ def _validate_perf(path, document):
         problems.append("%s: perf.probe.cycles_equal=%r is not a bool" % (path, probe.get("cycles_equal")))
     elif probe["cycles_equal"] is not True:
         problems.append("%s: perf.probe.cycles_equal is false — fast lane diverged" % path)
+    return problems
+
+
+def _validate_journal(path, document):
+    """Problems in the optional ``journal`` block (durable-run runs)."""
+    if "journal" not in document:
+        return []
+    problems = []
+    block = document["journal"]
+    if not isinstance(block, dict):
+        return ["%s: journal is not an object" % path]
+    for key in ("run_id", "path"):
+        if not isinstance(block.get(key), str) or not block.get(key):
+            problems.append(
+                "%s: journal.%s=%r is not a non-empty string" % (path, key, block.get(key))
+            )
+    for key in ("resumed", "torn_tail"):
+        if not isinstance(block.get(key), bool):
+            problems.append("%s: journal.%s=%r is not a bool" % (path, key, block.get(key)))
+    for key in ("completed_before", "resimulated"):
+        if not _is_nonneg_int(block.get(key)):
+            problems.append(
+                "%s: journal.%s=%r is not a non-negative int" % (path, key, block.get(key))
+            )
     return problems
 
 

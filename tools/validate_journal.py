@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""CI schema smoke for ``<cache>/journal/<run_id>.jsonl`` run journals.
+
+Checks the contract :mod:`repro.runner.journal` promises: a JSONL file
+opening with a ``run-open`` event of schema ``repro-journal/1`` that
+carries the cache base fingerprint, the ordered cell list, jobs,
+policy, and the fault plan; followed only by events from the journal
+vocabulary, each with its required fields (``cell-completed`` lines
+carry a cache ``key`` and a 64-hex ``payload_sha256``); at most one
+undecodable line, which must be the *last* one (the torn tail a hard
+kill leaves behind); and no second ``run-open``.
+
+With ``--closed`` the journal must additionally end with a
+``run-close`` event (a completed run); without it an interrupted
+journal also validates — that is the artifact the durability CI job
+uploads after the kill.
+
+Usage:
+    python tools/validate_journal.py [--closed] JOURNAL.jsonl [more ...]
+
+Exits 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+SCHEMA = "repro-journal/1"
+SHA256_HEX_LEN = 64
+
+EVENT_KINDS = {
+    "run-open",
+    "cell-submitted",
+    "cell-completed",
+    "cell-failed",
+    "cell-quarantined",
+    "run-resume",
+    "run-close",
+}
+
+#: required fields per event kind (beyond "event" itself)
+REQUIRED_FIELDS = {
+    "run-open": ("schema", "run_id", "fingerprint", "cells", "jobs", "policy"),
+    "cell-submitted": ("cell",),
+    "cell-completed": ("cell", "key", "payload_sha256", "source"),
+    "cell-failed": ("cell", "kind", "error"),
+    "cell-quarantined": ("cell", "key"),
+    "run-resume": ("run_id", "jobs"),
+    "run-close": ("report_sha256", "partial"),
+}
+
+COMPLETED_SOURCES = {"run", "cache"}
+
+
+def _is_sha256(value):
+    return (
+        isinstance(value, str)
+        and len(value) == SHA256_HEX_LEN
+        and all(ch in "0123456789abcdef" for ch in value)
+    )
+
+
+def validate(path, require_closed=False):
+    """Return a list of problem strings (empty = valid)."""
+    problems = []
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        return ["cannot load %s: %s" % (path, exc)]
+    chunks = raw.split(b"\n")
+    events = []
+    for index, chunk in enumerate(chunks):
+        if not chunk.strip():
+            continue
+        try:
+            event = json.loads(chunk.decode("utf-8"))
+            if not isinstance(event, dict) or "event" not in event:
+                raise ValueError("not an event object")
+        except (ValueError, UnicodeDecodeError):
+            if all(not later.strip() for later in chunks[index + 1 :]):
+                break  # the tolerated torn tail
+            problems.append(
+                "%s: line %d is undecodable and not the final line" % (path, index + 1)
+            )
+            return problems
+        events.append((index + 1, event))
+    if not events:
+        return problems + ["%s: no complete events" % path]
+
+    first_line, header = events[0]
+    if header.get("event") != "run-open":
+        problems.append(
+            "%s: line %d: first event is %r, expected run-open"
+            % (path, first_line, header.get("event"))
+        )
+    elif header.get("schema") != SCHEMA:
+        problems.append(
+            "%s: run-open schema is %r, expected %r" % (path, header.get("schema"), SCHEMA)
+        )
+    if header.get("event") == "run-open" and not (
+        isinstance(header.get("cells"), list)
+        and header.get("cells")
+        and all(isinstance(cell, str) and cell for cell in header["cells"])
+    ):
+        problems.append("%s: run-open cells is not a non-empty string list" % path)
+    if header.get("event") == "run-open" and not _is_sha256(header.get("fingerprint")):
+        problems.append(
+            "%s: run-open fingerprint=%r is not 64 hex chars" % (path, header.get("fingerprint"))
+        )
+
+    known_cells = set(header.get("cells") or ()) if isinstance(header.get("cells"), list) else None
+    for line, event in events:
+        kind = event.get("event")
+        if kind not in EVENT_KINDS:
+            problems.append("%s: line %d: unknown event %r" % (path, line, kind))
+            continue
+        for field in REQUIRED_FIELDS.get(kind, ()):
+            if field not in event:
+                problems.append(
+                    "%s: line %d: %s is missing field %r" % (path, line, kind, field)
+                )
+        if kind == "run-open" and line != first_line:
+            problems.append("%s: line %d: second run-open" % (path, line))
+        if kind == "cell-completed":
+            if not _is_sha256(event.get("payload_sha256")):
+                problems.append(
+                    "%s: line %d: payload_sha256=%r is not 64 hex chars"
+                    % (path, line, event.get("payload_sha256"))
+                )
+            if not _is_sha256(event.get("key")):
+                problems.append(
+                    "%s: line %d: key=%r is not 64 hex chars" % (path, line, event.get("key"))
+                )
+            if event.get("source") not in COMPLETED_SOURCES:
+                problems.append(
+                    "%s: line %d: source=%r not in %s"
+                    % (path, line, event.get("source"), sorted(COMPLETED_SOURCES))
+                )
+        if (
+            known_cells is not None
+            and "cell" in event
+            and event["cell"] not in known_cells
+        ):
+            problems.append(
+                "%s: line %d: cell %r is not in the run-open cell list"
+                % (path, line, event["cell"])
+            )
+        if kind == "run-close" and not _is_sha256(event.get("report_sha256")):
+            problems.append(
+                "%s: line %d: report_sha256=%r is not 64 hex chars"
+                % (path, line, event.get("report_sha256"))
+            )
+
+    if require_closed and events[-1][1].get("event") != "run-close":
+        problems.append(
+            "%s: final event is %r, expected run-close (--closed)"
+            % (path, events[-1][1].get("event"))
+        )
+    return problems
+
+
+def main(argv):
+    require_closed = False
+    paths = []
+    for arg in argv:
+        if arg == "--closed":
+            require_closed = True
+        else:
+            paths.append(arg)
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in paths:
+        problems = validate(path, require_closed=require_closed)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print("FAIL %s" % problem)
+        else:
+            print("OK   %s" % path)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
