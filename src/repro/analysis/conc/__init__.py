@@ -1,0 +1,20 @@
+"""Interprocedural concurrency analysis for the conc lint tier.
+
+Layers (each its own module):
+
+* :mod:`~repro.analysis.conc.callgraph` — module-level call graph with
+  a documented precision ladder (precise / external / fuzzy-by-name);
+* :mod:`~repro.analysis.conc.contexts` — execution-context lattice
+  (event-loop, thread, pool-worker, signal, main) and propagation;
+* :mod:`~repro.analysis.conc.effects` — per-function blocking / lock /
+  await / write effect extraction with lexical guard inference;
+* :mod:`~repro.analysis.conc.model` — assembly, entry-held-lock
+  fixpoint, may-block closures, and the shared per-project cache.
+
+The CON001–CON005 rules in :mod:`repro.analysis.rules` consume
+:func:`build_model`; everything here is pure stdlib ``ast``.
+"""
+
+from repro.analysis.conc.model import ConcModel, build_model
+
+__all__ = ["ConcModel", "build_model"]

@@ -1,0 +1,450 @@
+"""Module-level call graph over the concurrency scope.
+
+The conc tier reasons about *which context runs this function*, so it
+needs call edges across modules — something the per-function flow tier
+never did.  Names in Python are late-bound, so exact resolution is
+impossible; this resolver trades precision for predictable, documented
+behavior (DESIGN.md "Concurrency model"):
+
+* **Precise** edges when the receiver is statically evident: bare names
+  bind to nested defs, module functions/classes, or imported internal
+  symbols; ``self.method()`` binds within the enclosing class;
+  ``module.func()`` binds through the per-module import table; local
+  variables remember the class of a direct constructor call
+  (``client = AsyncServiceClient(...)``).
+* **External** calls (receivers rooted at a non-scope import such as
+  ``time`` or ``asyncio``) produce no edge — the blocking/spawn tables
+  in :mod:`repro.analysis.conc.effects` classify them instead.
+* Everything else falls back to **fuzzy** resolution: every function in
+  the module's *import closure* (itself plus the in-scope modules it
+  imports) whose terminal name matches.  This deliberately
+  over-approximates — ``writer.drain()`` in a coroutine reaches every
+  in-closure ``drain`` — because missing a real edge would silently
+  under-report CON001; false contexts are waived with reviewed
+  suppressions instead.
+"""
+
+import ast
+
+
+def dotted(node):
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class ExtRef:
+    """An out-of-scope callable: absolute dotted name plus, when it was
+    reached through an alias seam (``_sleep = time.sleep``), the module
+    and line of the alias definition — suppressions there waive every
+    call through the seam."""
+
+    __slots__ = ("name", "origin_module", "origin_line")
+
+    def __init__(self, name, origin_module=None, origin_line=None):
+        self.name = name
+        self.origin_module = origin_module
+        self.origin_line = origin_line
+
+    def __repr__(self):
+        return "ExtRef(%s)" % self.name
+
+
+class FuncInfo:
+    """One function or method definition in the scanned scope."""
+
+    __slots__ = (
+        "module", "node", "name", "qualname", "class_name", "parent",
+        "calls", "spawns", "blocking", "awaits", "writes", "regions",
+        "lock_orders", "nested",
+    )
+
+    def __init__(self, module, node, qualname, class_name, parent):
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.qualname = qualname
+        self.class_name = class_name
+        #: lexically enclosing FuncInfo (for nested defs), else None
+        self.parent = parent
+        #: name -> FuncInfo for directly nested defs
+        self.nested = {}
+        # effect slots, filled by conc.effects.scan_function
+        self.calls = []
+        self.spawns = []
+        self.blocking = []
+        self.awaits = []
+        self.writes = []
+        self.regions = []
+        self.lock_orders = []
+
+    @property
+    def is_async(self):
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    @property
+    def label(self):
+        return "%s:%s" % (self.module.relpath, self.qualname)
+
+    def __repr__(self):
+        return "FuncInfo(%s)" % self.label
+
+
+class ClassInfo:
+    """Methods, attribute aliases and inferred attribute types of a class."""
+
+    __slots__ = ("module", "name", "methods", "aliases", "attr_types", "lock_attrs")
+
+    def __init__(self, module, name):
+        self.module = module
+        self.name = name
+        #: method name -> FuncInfo
+        self.methods = {}
+        #: class-body alias: name -> (external dotted target, lineno) —
+        #: covers ``_sleep = staticmethod(time.sleep)`` seams
+        self.aliases = {}
+        #: self-attribute -> ClassInfo (from ``self.x = SomeClass(...)``)
+        self.attr_types = {}
+        #: self-attribute -> lock kind ("threading" | "asyncio")
+        self.lock_attrs = {}
+
+
+#: import-table entry kinds
+EXTERNAL, MODULE, SYMBOL = "external", "module", "symbol"
+
+
+class ModuleInfo:
+    """Per-module name tables: imports, functions, classes, aliases, locks."""
+
+    __slots__ = (
+        "module", "imports", "functions", "classes", "aliases", "locks", "closure",
+    )
+
+    def __init__(self, module):
+        self.module = module
+        #: bound name -> (EXTERNAL, dotted) | (MODULE, relpath) | (SYMBOL, relpath, name)
+        self.imports = {}
+        #: module-level def name -> FuncInfo
+        self.functions = {}
+        #: class name -> ClassInfo
+        self.classes = {}
+        #: module-level alias: name -> (external dotted target, lineno) —
+        #: covers ``_sleep = time.sleep`` seams
+        self.aliases = {}
+        #: module-level lock name -> kind
+        self.locks = {}
+        #: relpaths fuzzy resolution may search (self + imported in-scope)
+        self.closure = set()
+
+
+def _relpath_for(dotted_module, known):
+    """In-scope relpath for an absolute module path, else None."""
+    parts = dotted_module.split(".")
+    if parts and parts[0] == "repro":
+        parts = parts[1:]
+    if not parts:
+        return None
+    candidate = "/".join(parts) + ".py"
+    return candidate if candidate in known else None
+
+
+class Resolver:
+    """Name tables for a set of modules plus the resolution ladder."""
+
+    def __init__(self, modules):
+        self.infos = {}
+        self.all_functions = []
+        #: terminal name -> [FuncInfo] across the whole scope
+        self.by_name = {}
+        known = {module.relpath for module in modules}
+        for module in modules:
+            self.infos[module.relpath] = self._index_module(module, known)
+        for info in self.infos.values():
+            info.closure = {info.module.relpath}
+            for entry in info.imports.values():
+                if entry[0] in (MODULE, SYMBOL):
+                    info.closure.add(entry[1])
+        for info in self.infos.values():
+            self._infer_attr_types(info)
+
+    # -- indexing ----------------------------------------------------------
+
+    def _index_module(self, module, known):
+        info = ModuleInfo(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    relpath = _relpath_for(target, known)
+                    info.imports[bound] = (MODULE, relpath) if relpath else (EXTERNAL, target)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or not node.module:
+                    continue
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    full = "%s.%s" % (node.module, alias.name)
+                    relpath = _relpath_for(full, known)
+                    if relpath is not None:
+                        info.imports[bound] = (MODULE, relpath)
+                        continue
+                    parent = _relpath_for(node.module, known)
+                    if parent is not None:
+                        info.imports[bound] = (SYMBOL, parent, alias.name)
+                    else:
+                        info.imports[bound] = (EXTERNAL, full)
+        self._index_defs(module, module.tree.body, info, qual="", class_info=None, parent=None)
+        for stmt in module.tree.body:
+            self._maybe_alias_or_lock(stmt, info, class_info=None)
+        return info
+
+    def _index_defs(self, module, body, info, qual, class_info, parent):
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = (qual + "." if qual else "") + stmt.name
+                func = FuncInfo(
+                    module, stmt, qualname,
+                    class_info.name if class_info is not None else None,
+                    parent,
+                )
+                self.all_functions.append(func)
+                self.by_name.setdefault(stmt.name, []).append(func)
+                if parent is not None:
+                    parent.nested[stmt.name] = func
+                elif class_info is not None:
+                    class_info.methods[stmt.name] = func
+                else:
+                    info.functions[stmt.name] = func
+                self._index_defs(
+                    module, stmt.body, info,
+                    qual=qualname + ".<locals>", class_info=None, parent=func,
+                )
+            elif isinstance(stmt, ast.ClassDef) and class_info is None and parent is None:
+                cls = ClassInfo(module, stmt.name)
+                info.classes[stmt.name] = cls
+                self._index_defs(module, stmt.body, info, qual=stmt.name, class_info=cls, parent=None)
+                for sub in stmt.body:
+                    self._maybe_alias_or_lock(sub, info, class_info=cls)
+
+    def _maybe_alias_or_lock(self, stmt, info, class_info):
+        """Record ``name = time.sleep`` aliases and ``NAME = threading.Lock()``."""
+        from repro.analysis.conc.effects import LOCK_CONSTRUCTORS
+
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            return
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            return
+        value = stmt.value
+        # unwrap staticmethod(...) for class-body seams
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "staticmethod"
+            and len(value.args) == 1
+        ):
+            value = value.args[0]
+        chain = dotted(value)
+        if chain is not None:
+            resolved = self._external_name(info, chain)
+            if resolved is not None:
+                table = class_info.aliases if class_info is not None else info.aliases
+                table[target.id] = (resolved, stmt.lineno)
+        if isinstance(stmt.value, ast.Call):
+            chain = dotted(stmt.value.func)
+            resolved = self._external_name(info, chain) if chain else None
+            if resolved in LOCK_CONSTRUCTORS:
+                if class_info is None:
+                    info.locks[target.id] = LOCK_CONSTRUCTORS[resolved]
+                else:
+                    class_info.lock_attrs[target.id] = LOCK_CONSTRUCTORS[resolved]
+
+    def _infer_attr_types(self, info):
+        """``self.x = SomeClass(...)`` and ``self.x = threading.Lock()``."""
+        from repro.analysis.conc.effects import LOCK_CONSTRUCTORS
+
+        for cls in info.classes.values():
+            for method in cls.methods.values():
+                for node in ast.walk(method.node):
+                    if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                        continue
+                    target = node.targets[0]
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and isinstance(node.value, ast.Call)
+                    ):
+                        continue
+                    chain = dotted(node.value.func)
+                    if chain is None:
+                        continue
+                    external = self._external_name(info, chain)
+                    if external in LOCK_CONSTRUCTORS:
+                        cls.lock_attrs[target.attr] = LOCK_CONSTRUCTORS[external]
+                        continue
+                    constructed = self._resolve_constructor(info, chain)
+                    if constructed is not None:
+                        cls.attr_types.setdefault(target.attr, constructed)
+
+    def _resolve_constructor(self, info, chain):
+        """ClassInfo for a ``Cls(...)`` / ``mod.Cls(...)`` constructor chain."""
+        parts = chain.split(".")
+        if len(parts) == 1:
+            if parts[0] in info.classes:
+                return info.classes[parts[0]]
+            entry = info.imports.get(parts[0])
+            if entry is not None and entry[0] == SYMBOL:
+                return self.class_of(entry[1], entry[2])
+            return None
+        if len(parts) == 2:
+            entry = info.imports.get(parts[0])
+            if entry is not None and entry[0] == MODULE and entry[1] is not None:
+                return self.infos[entry[1]].classes.get(parts[1])
+        return None
+
+    # -- resolution --------------------------------------------------------
+
+    def _external_name(self, info, chain):
+        """Absolute dotted name when ``chain`` roots at an external import."""
+        if chain is None:
+            return None
+        root, _, rest = chain.partition(".")
+        entry = info.imports.get(root)
+        if entry is not None and entry[0] == EXTERNAL:
+            return entry[1] + ("." + rest if rest else "")
+        return None
+
+    def fuzzy(self, info, name):
+        """Every in-closure function with this terminal name (the documented
+        over-approximation); dunders never match."""
+        if name.startswith("__") and name.endswith("__"):
+            return []
+        return [
+            func for func in self.by_name.get(name, ())
+            if func.module.relpath in info.closure
+        ]
+
+    def class_of(self, relpath, class_name):
+        info = self.infos.get(relpath)
+        return info.classes.get(class_name) if info else None
+
+    def resolve(self, func, expr, local_types=None):
+        """Resolve a callable reference to ``(targets, external, fuzzy)``.
+
+        ``targets`` is a list of FuncInfo; ``external`` an absolute dotted
+        name for out-of-scope callables (or a bare builtin name); ``fuzzy``
+        is True when targets came from the name-match fallback — blocking
+        heuristics only apply to fuzzy/unresolved receivers.
+        """
+        info = self.infos[func.module.relpath]
+        local_types = local_types or {}
+        if isinstance(expr, ast.Name):
+            return self._resolve_bare(info, func, expr.id)
+        if isinstance(expr, ast.Attribute):
+            return self._resolve_attribute(info, func, expr, local_types)
+        return [], None, False
+
+    def _resolve_bare(self, info, func, name):
+        scope = func
+        while scope is not None:
+            if name in scope.nested:
+                return [scope.nested[name]], None, False
+            scope = scope.parent
+        if name in info.functions:
+            return [info.functions[name]], None, False
+        if name in info.classes:
+            init = info.classes[name].methods.get("__init__")
+            return ([init] if init else []), None, False
+        if name in info.aliases:
+            target, lineno = info.aliases[name]
+            return [], ExtRef(target, info.module, lineno), False
+        entry = info.imports.get(name)
+        if entry is not None:
+            if entry[0] == EXTERNAL:
+                return [], ExtRef(entry[1]), False
+            if entry[0] == MODULE:
+                return [], None, False
+            if entry[0] == SYMBOL:
+                return self._symbol_in(entry[1], entry[2])
+        if name == "open":
+            return [], ExtRef("open"), False
+        return [], None, False
+
+    def _symbol_in(self, relpath, name):
+        target = self.infos.get(relpath)
+        if target is None:
+            return [], None, False
+        if name in target.functions:
+            return [target.functions[name]], None, False
+        if name in target.classes:
+            init = target.classes[name].methods.get("__init__")
+            return ([init] if init else []), None, False
+        if name in target.aliases:
+            alias, lineno = target.aliases[name]
+            return [], ExtRef(alias, target.module, lineno), False
+        return [], None, False
+
+    def _resolve_attribute(self, info, func, expr, local_types):
+        attr = expr.attr
+        chain = dotted(expr)
+        if chain is not None:
+            parts = chain.split(".")
+            root = parts[0]
+            external = self._external_name(info, chain)
+            if external is not None:
+                return [], ExtRef(external), False
+            entry = info.imports.get(root)
+            if entry is not None and entry[0] == MODULE and entry[1] is not None:
+                if len(parts) == 2:
+                    return self._symbol_in(entry[1], attr)
+                if len(parts) == 3:  # mod.Class.method / mod.Class.create
+                    cls = self.infos[entry[1]].classes.get(parts[1])
+                    if cls is not None and attr in cls.methods:
+                        return [cls.methods[attr]], None, False
+                return [], None, False
+            if entry is not None and entry[0] == SYMBOL and len(parts) == 2:
+                cls = self.class_of(entry[1], entry[2])
+                if cls is not None:
+                    if attr in cls.methods:
+                        return [cls.methods[attr]], None, False
+                    if attr in cls.aliases:
+                        alias, lineno = cls.aliases[attr]
+                        return [], ExtRef(alias, cls.module, lineno), False
+                return [], None, False
+            if root == "self" and func.class_name:
+                cls = info.classes.get(func.class_name)
+                if cls is not None:
+                    if len(parts) == 2:
+                        if attr in cls.methods:
+                            return [cls.methods[attr]], None, False
+                        if attr in cls.aliases:
+                            alias, lineno = cls.aliases[attr]
+                            return [], ExtRef(alias, cls.module, lineno), False
+                    elif len(parts) == 3 and parts[1] in cls.attr_types:
+                        mid = cls.attr_types[parts[1]]
+                        if attr in mid.methods:
+                            return [mid.methods[attr]], None, False
+                        return [], None, False
+            if root in local_types and len(parts) == 2:
+                cls = local_types[root]
+                if cls is EXTERNAL_TYPE:
+                    return [], None, False
+                if attr in cls.methods:
+                    return [cls.methods[attr]], None, False
+                if attr in cls.aliases:
+                    alias, lineno = cls.aliases[attr]
+                    return [], ExtRef(alias, cls.module, lineno), False
+                return [], None, False
+        targets = self.fuzzy(info, attr)
+        return targets, None, bool(targets)
+
+
+#: sentinel local type: "constructed from an out-of-scope class"
+EXTERNAL_TYPE = object()

@@ -1,0 +1,91 @@
+"""Execution-context lattice and propagation.
+
+Every function in scope is classified into the contexts that may run
+it.  The lattice is a plain powerset over five context names:
+
+* ``event-loop`` — asyncio coroutines and their sync helpers.  Seeded
+  by every ``async def`` (a coroutine body can only ever execute on a
+  loop) and by loop-spawn constructs (``asyncio.run``, ``create_task``,
+  ``run_coroutine_threadsafe``, ``call_soon*``, ...).
+* ``thread`` — ``threading.Thread(target=...)`` targets,
+  ``run_in_executor`` / ``asyncio.to_thread`` offloads.
+* ``pool-worker`` — executor ``submit(f, ...)`` targets and pool
+  ``initializer=`` hooks.
+* ``signal`` — ``signal.signal`` / ``loop.add_signal_handler`` targets.
+* ``main`` — the default for anything nothing else reaches.
+
+Propagation: contexts flow along plain call edges (a helper called from
+a coroutine runs on the loop), with one exception — ``async def``
+functions are *locked* to ``{event-loop}``: a sync caller touching a
+coroutine function merely creates the coroutine object, it never runs
+the body in its own context.  Spawn edges assign the spawned context
+instead of the caller's.  Each (function, context) pair remembers the
+edge that introduced it so rule messages can print a witness chain.
+"""
+
+EVENT_LOOP = "event-loop"
+THREAD = "thread"
+POOL = "pool-worker"
+SIGNAL = "signal"
+MAIN = "main"
+
+CONTEXTS = (EVENT_LOOP, THREAD, POOL, SIGNAL, MAIN)
+
+
+def propagate(functions):
+    """Compute ``contexts`` and ``witness`` maps over scanned functions.
+
+    Returns ``(contexts, witness)`` where ``contexts[func]`` is a set of
+    context names and ``witness[(func, ctx)]`` is ``(parent_func, line)``
+    — ``(None, seed_line)`` for seeds.
+    """
+    contexts = {func: set() for func in functions}
+    witness = {}
+    worklist = []
+
+    def add(func, ctx, parent, line):
+        if func not in contexts:
+            return
+        if func.is_async and ctx != EVENT_LOOP:
+            return  # a coroutine body only ever runs on a loop
+        if ctx in contexts[func]:
+            return
+        contexts[func].add(ctx)
+        witness[(func, ctx)] = (parent, line)
+        worklist.append(func)
+
+    for func in functions:
+        if func.is_async:
+            add(func, EVENT_LOOP, None, func.node.lineno)
+        for spawn in func.spawns:
+            for target in spawn.targets:
+                add(target, spawn.context, func, spawn.node.lineno)
+
+    while worklist:
+        func = worklist.pop()
+        snapshot = tuple(contexts[func])
+        for site in func.calls:
+            for target in site.targets:
+                for ctx in snapshot:
+                    add(target, ctx, func, site.node.lineno)
+
+    for func in functions:
+        if not contexts[func]:
+            contexts[func].add(MAIN)
+            witness[(func, MAIN)] = (None, func.node.lineno)
+    return contexts, witness
+
+
+def witness_chain(witness, func, ctx, limit=6):
+    """Human-readable seed->...->func chain for one (func, context)."""
+    labels = [func.label]
+    seen = {func}
+    current = func
+    while len(labels) < limit:
+        parent, _line = witness.get((current, ctx), (None, 0))
+        if parent is None or parent in seen:
+            break
+        labels.append(parent.label)
+        seen.add(parent)
+        current = parent
+    return " <- ".join(labels)

@@ -1,0 +1,456 @@
+"""Per-function effect extraction: blocking calls, locks, awaits, writes.
+
+One recursive pass per function (nested ``def``s are scanned as their
+own functions) collects, with the lexically-held lock set at each point:
+
+* **call sites** — resolved through :mod:`repro.analysis.conc.callgraph`;
+* **spawn sites** — constructs that move a callable into another
+  execution context (see :mod:`repro.analysis.conc.contexts`);
+* **blocking effects** — the vocabulary below;
+* **awaits** — ``await`` expressions (a call directly under ``await``
+  is never blocking: the loop keeps scheduling while it waits);
+* **attribute writes** — ``self.x = ...`` / ``self.x += ...`` /
+  ``self.x[k] = ...`` / ``self.x.append(...)``-style mutations, the
+  input to CON002's majority-lockset check;
+* **lock regions and order edges** — ``with``-statement guard inference
+  over recognized ``threading.Lock`` / ``asyncio.Lock`` attributes and
+  module globals (bare ``.acquire()`` bookkeeping is out of scope — the
+  tree uses ``with`` everywhere; DESIGN.md records the gap).
+
+Blocking vocabulary (deliberately conservative; misses are documented
+under-approximations, not bugs to paper over with suppressions):
+
+* external calls ``time.sleep``, ``os.fsync``, ``os.system``,
+  ``subprocess.run/call/check_call/check_output``,
+  ``socket.create_connection``, ``select.select``, builtin ``open`` —
+  including module-level / class-body alias seams
+  (``_sleep = time.sleep``, ``_sleep = staticmethod(time.sleep)``);
+* non-awaited method calls named ``result``, ``wait``, ``getresponse``,
+  ``recv``, ``accept``, ``connect``, ``sendall`` on receivers that do
+  not resolve to an in-scope function (``Future.result``,
+  ``Event.wait``, sockets, HTTP connections);
+* ``.join(...)`` only when the receiver's name smells like a
+  thread/process/pool — ``", ".join(parts)`` must stay silent.
+
+Lock *acquisition* is not "blocking" here: guarded sections in this
+tree are short and CPU-bound, and flagging every ``with self._lock``
+reachable from a coroutine would drown the tier in noise (documented
+over-/under-approximation trade in DESIGN.md).
+"""
+
+import ast
+import dataclasses
+
+from repro.analysis.conc import contexts as ctx
+from repro.analysis.conc.callgraph import EXTERNAL_TYPE, ExtRef, dotted
+
+#: lock-constructor dotted names -> lock kind
+LOCK_CONSTRUCTORS = {
+    "threading.Lock": "threading",
+    "threading.RLock": "threading",
+    "threading.Condition": "threading",
+    "asyncio.Lock": "asyncio",
+}
+
+#: out-of-scope callables that block the calling thread
+BLOCKING_EXTERNAL = {
+    "time.sleep",
+    "os.fsync",
+    "os.system",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "socket.create_connection",
+    "select.select",
+    "open",
+}
+
+#: method names that block when not awaited (Future.result, Event.wait,
+#: socket/HTTP round trips) — applied only to fuzzy/unresolved receivers
+BLOCKING_METHODS = {
+    "result", "wait", "getresponse", "recv", "accept", "connect", "sendall",
+}
+
+#: ``.join()`` blocks only on receivers named like one of these
+JOIN_RECEIVER_HINTS = ("thread", "proc", "pool", "worker")
+
+#: container mutations counted as writes for CON002
+MUTATOR_METHODS = {
+    "append", "extend", "insert", "remove", "clear", "update", "add",
+    "discard", "pop", "popitem", "popleft", "appendleft", "setdefault",
+}
+
+#: spawn constructs by external dotted name: (argument picker, context)
+SPAWN_EXTERNAL = {
+    "asyncio.run": (0, ctx.EVENT_LOOP),
+    "asyncio.create_task": (0, ctx.EVENT_LOOP),
+    "asyncio.ensure_future": (0, ctx.EVENT_LOOP),
+    "asyncio.run_coroutine_threadsafe": (0, ctx.EVENT_LOOP),
+    "asyncio.to_thread": (0, ctx.THREAD),
+    "signal.signal": (1, ctx.SIGNAL),
+}
+
+#: spawn constructs by method name (receiver type unknown)
+SPAWN_METHODS = {
+    "create_task": (0, ctx.EVENT_LOOP),
+    "ensure_future": (0, ctx.EVENT_LOOP),
+    "run_until_complete": (0, ctx.EVENT_LOOP),
+    "call_soon": (0, ctx.EVENT_LOOP),
+    "call_soon_threadsafe": (0, ctx.EVENT_LOOP),
+    "call_later": (1, ctx.EVENT_LOOP),
+    "call_at": (1, ctx.EVENT_LOOP),
+    "run_in_executor": (1, ctx.THREAD),
+    "add_signal_handler": (1, ctx.SIGNAL),
+    "submit": (0, ctx.POOL),
+}
+
+#: keyword arguments that carry a callable into another context
+SPAWN_KEYWORDS = {"target": ctx.THREAD, "initializer": ctx.POOL}
+
+
+@dataclasses.dataclass(frozen=True)
+class LockToken:
+    """Identity of one recognized lock (class attribute or module global)."""
+
+    relpath: str
+    class_name: str  # "" for module-level locks
+    name: str
+    kind: str  # "threading" | "asyncio"
+
+    @property
+    def display(self):
+        owner = self.class_name or self.relpath.rsplit("/", 1)[-1][:-3]
+        return "%s.%s" % (owner, self.name)
+
+
+@dataclasses.dataclass
+class CallSite:
+    node: object
+    stmt: object
+    targets: tuple
+    fuzzy: bool
+    held: frozenset
+    awaited: bool
+
+
+@dataclasses.dataclass
+class SpawnSite:
+    node: object
+    targets: tuple
+    context: str
+
+
+@dataclasses.dataclass
+class BlockEffect:
+    node: object
+    stmt: object
+    label: str
+    held: frozenset
+    #: (SourceModule, line) of an alias seam this call resolved through
+    alias_origin: tuple = None
+
+
+@dataclasses.dataclass
+class AwaitSite:
+    node: object
+    held: frozenset
+
+
+@dataclasses.dataclass
+class AttrWrite:
+    class_name: str
+    attr: str
+    node: object
+    held: frozenset
+
+
+@dataclasses.dataclass
+class LockRegion:
+    token: LockToken
+    node: object
+
+
+@dataclasses.dataclass
+class LockOrder:
+    outer: LockToken
+    inner: LockToken
+    node: object
+
+
+def scan_function(func, resolver):
+    """Populate ``func``'s effect slots (calls/spawns/blocking/...)."""
+    info = resolver.infos[func.module.relpath]
+    local_types = _infer_local_types(func, resolver, info)
+    scanner = _Scanner(func, resolver, info, local_types)
+    body = func.node.body
+    for stmt in body:
+        scanner.visit_stmt(stmt)
+
+
+def lock_token_for(resolver, info, func, expr):
+    """LockToken for a ``with`` context expression, else None."""
+    if isinstance(expr, ast.Name):
+        kind = info.locks.get(expr.id)
+        if kind is not None:
+            return LockToken(info.module.relpath, "", expr.id, kind)
+        return None
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and func.class_name
+    ):
+        cls = info.classes.get(func.class_name)
+        if cls is not None:
+            kind = cls.lock_attrs.get(expr.attr)
+            if kind is not None:
+                return LockToken(info.module.relpath, func.class_name, expr.attr, kind)
+    return None
+
+
+def _infer_local_types(func, resolver, info):
+    """``x = SomeClass(...)`` / ``with SomeClass(...) as x`` receiver types."""
+    types = {}
+
+    def record(name, value):
+        if not isinstance(value, ast.Call):
+            return
+        targets, external, fuzzy = resolver.resolve(func, value.func)
+        if external is not None and "." in external.name:
+            types[name] = EXTERNAL_TYPE
+            return
+        if fuzzy:
+            return
+        for target in targets:
+            if target.name == "__init__" and target.class_name:
+                owner = resolver.infos[target.module.relpath]
+                types[name] = owner.classes[target.class_name]
+                return
+
+    nested = set()
+    for node in ast.walk(func.node):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            and node is not func.node
+        ):
+            nested.update(id(sub) for sub in ast.walk(node))
+    for node in ast.walk(func.node):
+        if id(node) in nested:
+            continue
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            if isinstance(node.targets[0], ast.Name):
+                record(node.targets[0].id, node.value)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    record(item.optional_vars.id, item.context_expr)
+    return types
+
+
+class _Scanner:
+    """One traversal of a function body, tracking held locks."""
+
+    def __init__(self, func, resolver, info, local_types):
+        self.func = func
+        self.resolver = resolver
+        self.info = info
+        self.local_types = local_types
+        self.held = []  # stack of LockToken
+        self.current_stmt = None
+        self.awaited_calls = set()
+        self.in_init = func.name in ("__init__", "__post_init__")
+
+    # -- statements --------------------------------------------------------
+
+    def visit_stmt(self, stmt):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested definitions are scanned as their own functions
+        self.current_stmt = stmt
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._visit_with(stmt)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            self._record_assign_writes(stmt)
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self.visit_stmt(child)
+                self.current_stmt = stmt
+            elif isinstance(child, ast.expr):
+                self.visit_expr(child)
+            elif isinstance(child, (ast.withitem, ast.excepthandler, ast.arguments, ast.keyword)):
+                for sub in ast.iter_child_nodes(child):
+                    if isinstance(sub, ast.stmt):
+                        self.visit_stmt(sub)
+                        self.current_stmt = stmt
+                    elif isinstance(sub, ast.expr):
+                        self.visit_expr(sub)
+
+    def _visit_with(self, stmt):
+        tokens = []
+        for item in stmt.items:
+            self.visit_expr(item.context_expr)
+            token = lock_token_for(self.resolver, self.info, self.func, item.context_expr)
+            if token is not None:
+                for outer in self.held:
+                    self.func.lock_orders.append(LockOrder(outer, token, stmt))
+                self.func.regions.append(LockRegion(token, stmt))
+                tokens.append(token)
+        self.held.extend(tokens)
+        for child in stmt.body:
+            self.visit_stmt(child)
+            self.current_stmt = stmt
+        if tokens:
+            del self.held[-len(tokens):]
+
+    def _record_assign_writes(self, stmt):
+        if self.in_init:
+            return
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        flat = []
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                flat.extend(target.elts)
+            else:
+                flat.append(target)
+        for target in flat:
+            attr_node = target
+            if isinstance(attr_node, ast.Subscript):
+                attr_node = attr_node.value
+            if (
+                isinstance(attr_node, ast.Attribute)
+                and isinstance(attr_node.value, ast.Name)
+                and attr_node.value.id == "self"
+                and self.func.class_name
+            ):
+                self.func.writes.append(
+                    AttrWrite(
+                        self.func.class_name, attr_node.attr, target,
+                        frozenset(self.held),
+                    )
+                )
+
+    # -- expressions -------------------------------------------------------
+
+    def visit_expr(self, expr):
+        if isinstance(expr, ast.Await):
+            self.func.awaits.append(AwaitSite(expr, frozenset(self.held)))
+            if isinstance(expr.value, ast.Call):
+                self.awaited_calls.add(id(expr.value))
+            self.visit_expr(expr.value)
+            return
+        if isinstance(expr, ast.Lambda):
+            return
+        if isinstance(expr, ast.Call):
+            self._visit_call(expr)
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self.visit_expr(child)
+            elif isinstance(child, (ast.keyword, ast.comprehension)):
+                for sub in ast.iter_child_nodes(child):
+                    if isinstance(sub, ast.expr):
+                        self.visit_expr(sub)
+
+    def _visit_call(self, call):
+        func_expr = call.func
+        targets, external, fuzzy = self.resolver.resolve(
+            self.func, func_expr, self.local_types
+        )
+        awaited = id(call) in self.awaited_calls
+        held = frozenset(self.held)
+        if targets:
+            self.func.calls.append(
+                CallSite(call, self.current_stmt, tuple(targets), fuzzy, held, awaited)
+            )
+        self._maybe_spawn(call, func_expr, external)
+        self._maybe_blocking(call, func_expr, targets, external, fuzzy, awaited, held)
+        self._maybe_mutator_write(call, func_expr)
+
+    def _maybe_spawn(self, call, func_expr, external):
+        picked = None
+        if isinstance(external, ExtRef) and external.name in SPAWN_EXTERNAL:
+            picked = SPAWN_EXTERNAL[external.name]
+        elif isinstance(func_expr, ast.Attribute) and func_expr.attr in SPAWN_METHODS:
+            picked = SPAWN_METHODS[func_expr.attr]
+        if picked is not None:
+            index, context = picked
+            if index < len(call.args):
+                self._spawn_to(call, call.args[index], context)
+        for keyword in call.keywords:
+            if keyword.arg in SPAWN_KEYWORDS:
+                self._spawn_to(call, keyword.value, SPAWN_KEYWORDS[keyword.arg])
+
+    def _spawn_to(self, call, ref, context):
+        ref = _unwrap_partial(ref)
+        if isinstance(ref, ast.Call):
+            ref = ref.func
+        if not isinstance(ref, (ast.Name, ast.Attribute)):
+            return
+        targets, _external, _fuzzy = self.resolver.resolve(
+            self.func, ref, self.local_types
+        )
+        if targets:
+            self.func.spawns.append(SpawnSite(call, tuple(targets), context))
+
+    def _maybe_blocking(self, call, func_expr, targets, external, fuzzy, awaited, held):
+        if awaited:
+            return
+        if isinstance(external, ExtRef):
+            if external.name in BLOCKING_EXTERNAL:
+                origin = None
+                if external.origin_module is not None:
+                    origin = (external.origin_module, external.origin_line)
+                self.func.blocking.append(
+                    BlockEffect(call, self.current_stmt, external.name, held, origin)
+                )
+            return
+        if targets and not fuzzy:
+            return  # precisely-resolved in-scope callee: its own effects apply
+        if not isinstance(func_expr, ast.Attribute):
+            return
+        attr = func_expr.attr
+        if attr in BLOCKING_METHODS:
+            self.func.blocking.append(
+                BlockEffect(call, self.current_stmt, ".%s()" % attr, held)
+            )
+        elif attr == "join":
+            receiver = func_expr.value
+            name = receiver.attr if isinstance(receiver, ast.Attribute) else (
+                receiver.id if isinstance(receiver, ast.Name) else None
+            )
+            if name and any(hint in name.lower() for hint in JOIN_RECEIVER_HINTS):
+                self.func.blocking.append(
+                    BlockEffect(call, self.current_stmt, ".join()", held)
+                )
+
+    def _maybe_mutator_write(self, call, func_expr):
+        if self.in_init or not isinstance(func_expr, ast.Attribute):
+            return
+        if func_expr.attr not in MUTATOR_METHODS:
+            return
+        receiver = func_expr.value
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+            and self.func.class_name
+        ):
+            self.func.writes.append(
+                AttrWrite(
+                    self.func.class_name, receiver.attr, call,
+                    frozenset(self.held),
+                )
+            )
+
+
+def _unwrap_partial(ref):
+    """``functools.partial(f, ...)`` -> ``f``."""
+    if isinstance(ref, ast.Call):
+        chain = dotted(ref.func)
+        if chain in ("functools.partial", "partial") and ref.args:
+            return ref.args[0]
+    return ref

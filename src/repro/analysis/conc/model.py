@@ -1,0 +1,153 @@
+"""The assembled concurrency model handed to CON rules.
+
+``build_model(project, config)`` indexes every module in the conc
+scope, scans each function's effects, propagates execution contexts,
+and computes two derived facts rules share:
+
+* **entry-held locks** — the locks a function may assume held on entry,
+  the *intersection* over all in-scope call sites of (locks lexically
+  held at the site ∪ the caller's own entry-held set), iterated to a
+  fixpoint.  This is what keeps ``SimulationBroker._ensure_thread``
+  (always called under ``self._lock``) out of CON002.
+* **may-block closures** — whether a function transitively reaches a
+  blocking effect through plain call edges, with per-rule suppression
+  filtering: a ``# repro-lint: ignore[CON...]`` on the blocking line
+  (or on an alias seam's definition line) removes the effect from the
+  closure, so a reviewed chaos-injection sleep does not indict every
+  caller.
+
+The model is cached per (project, scope): five rules share one build.
+"""
+
+from repro.analysis.conc import contexts as ctx
+from repro.analysis.conc.callgraph import Resolver
+from repro.analysis.conc.effects import scan_function
+
+#: all CON rules share one scope — the union of their configured paths
+CON_CODES = ("CON001", "CON002", "CON003", "CON004", "CON005")
+
+_CACHE = {}
+
+
+class ConcModel:
+    def __init__(self, functions, resolver, contexts, witness, entry_held):
+        self.functions = functions
+        self.resolver = resolver
+        #: FuncInfo -> set of context names
+        self.contexts = contexts
+        #: (FuncInfo, context) -> (parent FuncInfo | None, line)
+        self.witness = witness
+        #: FuncInfo -> frozenset of LockToken assumed held on entry
+        self.entry_held = entry_held
+        self._may_block = {}
+
+    def chain(self, func, context):
+        return ctx.witness_chain(self.witness, func, context)
+
+    # -- suppression-aware effect filtering --------------------------------
+
+    def effect_active(self, func, effect, code):
+        """False when the effect is waived at its own line or at the
+        alias seam it resolved through."""
+        if func.module.is_suppressed(effect.node.lineno, code):
+            return False
+        if effect.alias_origin is not None:
+            module, line = effect.alias_origin
+            if module.is_suppressed(line, code):
+                return False
+        return True
+
+    def blocking_effects(self, func, code):
+        return [e for e in func.blocking if self.effect_active(func, e, code)]
+
+    def may_block(self, func, code):
+        """First transitively-reachable active blocking effect, as
+        ``(effect, owner FuncInfo)``, else None.  Spawn edges do not
+        count: work moved to another context no longer blocks this one."""
+        key = (func, code)
+        if key in self._may_block:
+            return self._may_block[key]
+        self._may_block[key] = None  # cycle guard
+        found = None
+        effects = self.blocking_effects(func, code)
+        if effects:
+            found = (effects[0], func)
+        else:
+            for site in func.calls:
+                if site.awaited or site.fuzzy:
+                    # fuzzy (name-matched) edges feed context propagation
+                    # only; chaining may-block through them would let one
+                    # name collision indict every caller of that name
+                    continue
+                for target in site.targets:
+                    if target.is_async and not func.is_async:
+                        continue  # sync code touching a coroutine fn never runs it
+                    inner = self.may_block(target, code)
+                    if inner is not None:
+                        found = inner
+                        break
+                if found is not None:
+                    break
+        self._may_block[key] = found
+        return found
+
+
+def conc_scope(config):
+    """Union of the five CON rules' configured path prefixes.
+
+    An unscoped rule (``()``) widens the model to the whole tree —
+    matching how unscoped rules report everywhere.
+    """
+    prefixes = []
+    for code in CON_CODES:
+        paths = config.paths_for(code)
+        if not paths:
+            return ()
+        prefixes.extend(paths)
+    return tuple(dict.fromkeys(prefixes))
+
+
+def build_model(project, config):
+    scope = conc_scope(config)
+    key = (id(project), scope)
+    if _CACHE.get("key") == key:
+        return _CACHE["model"]
+    modules = project.in_paths(scope)
+    resolver = Resolver(modules)
+    for func in resolver.all_functions:
+        scan_function(func, resolver)
+    contexts, witness = ctx.propagate(resolver.all_functions)
+    entry_held = _entry_held_fixpoint(resolver.all_functions)
+    model = ConcModel(resolver.all_functions, resolver, contexts, witness, entry_held)
+    _CACHE["key"] = key
+    _CACHE["model"] = model
+    _CACHE["project"] = project  # keep the id() key valid
+    return model
+
+
+def _entry_held_fixpoint(functions, rounds=4):
+    """Locks held at *every* in-scope call site, to a bounded fixpoint."""
+    incoming = {func: [] for func in functions}
+    for caller in functions:
+        for site in caller.calls:
+            for target in site.targets:
+                if target in incoming:
+                    incoming[target].append((caller, site.held))
+    entry = {func: frozenset() for func in functions}
+    for _round in range(rounds):
+        changed = False
+        for func in functions:
+            sites = incoming[func]
+            if not sites:
+                continue
+            held = None
+            for caller, site_held in sites:
+                combined = site_held | entry[caller]
+                held = combined if held is None else held & combined
+            held = frozenset(held or ())
+            if held != entry[func]:
+                entry[func] = held
+                changed = True
+        if not changed:
+            break
+    return entry

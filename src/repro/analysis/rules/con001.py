@@ -1,0 +1,60 @@
+"""CON001: blocking call reachable from an event-loop context.
+
+The serving stack's whole latency story (coalescing, admission control,
+drain) assumes the loop keeps scheduling; one ``time.sleep`` or
+``Future.result`` on it stalls *every* in-flight query at once — the
+exact failure mode the paper's Table III/V lesson (cost on the hot
+transition path dominates) predicts for us.  A function is indicted
+when context propagation marks it ``event-loop`` and it contains a
+non-awaited blocking effect.  The PR-5 CFG decides the wording: a
+blocking statement present on every acyclic path "runs", one on some
+paths "may run".
+"""
+
+from repro.analysis.conc import build_model
+from repro.analysis.conc.contexts import EVENT_LOOP
+from repro.analysis.flow.cfg import build_cfg
+from repro.analysis.rules.base import Rule
+
+
+class LoopBlocking(Rule):
+    code = "CON001"
+    name = "loop-blocking"
+    description = "blocking call reachable from an event-loop context"
+    tier = "conc"
+
+    def check(self, project, config):
+        model = build_model(project, config)
+        prefixes = config.paths_for(self.code)
+        for func in model.functions:
+            if not func.module.in_any(prefixes):
+                continue
+            if EVENT_LOOP not in model.contexts[func]:
+                continue
+            effects = model.blocking_effects(func, self.code)
+            if not effects:
+                continue
+            chain = model.chain(func, EVENT_LOOP)
+            paths = _unconditional_stmts(func, config.flow_max_paths)
+            for effect in effects:
+                verb = "runs" if id(effect.stmt) in paths else "may run"
+                yield func.module.violation(
+                    effect.node, self.code,
+                    "blocking call %s %s on the event loop (reachable via %s); "
+                    "offload with loop.run_in_executor/asyncio.to_thread, or "
+                    "suppress with a written reason" % (effect.label, verb, chain),
+                )
+
+
+def _unconditional_stmts(func, max_paths):
+    """``id`` of every statement present on *all* enumerated acyclic paths
+    (empty when the path budget is exhausted — then nothing is claimed
+    unconditional)."""
+    paths = list(build_cfg(func.node).iter_paths(max_paths))
+    if not paths or len(paths) >= max_paths:
+        return set()
+    common = None
+    for path in paths:
+        ids = {id(node.stmt) for node in path.nodes if node.stmt is not None}
+        common = ids if common is None else common & ids
+    return common or set()

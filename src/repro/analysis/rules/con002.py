@@ -1,0 +1,73 @@
+"""CON002: shared attribute written from two contexts with inconsistent guard.
+
+A lockset check in the RacerD tradition, scoped to ``self``-attribute
+writes: for each (class, attribute), collect every non-``__init__``
+write site with the locks held there (lexically plus the caller-held
+entry set), and the union of execution contexts that reach the writing
+functions.  When at least two contexts write the attribute *and* a
+majority of the write sites agree on a guard lock, any write missing
+that lock is flagged.  No majority — e.g. the deliberate GIL-atomic
+one-flag pattern (``self._draining = True`` everywhere unguarded) —
+means no discipline to enforce, so nothing fires.
+"""
+
+from repro.analysis.conc import build_model
+from repro.analysis.rules.base import Rule
+
+
+class SharedGuard(Rule):
+    code = "CON002"
+    name = "shared-guard"
+    description = "shared attribute written from >=2 contexts with inconsistent guard"
+    tier = "conc"
+
+    def check(self, project, config):
+        model = build_model(project, config)
+        prefixes = config.paths_for(self.code)
+        groups = {}
+        for func in model.functions:
+            for write in func.writes:
+                key = (func.module.relpath, write.class_name, write.attr)
+                groups.setdefault(key, []).append((func, write))
+        for (relpath, class_name, attr), writes in sorted(groups.items()):
+            module = writes[0][0].module
+            if not module.in_any(prefixes):
+                continue
+            write_contexts = set()
+            for func, _write in writes:
+                write_contexts.update(model.contexts[func])
+            if len(write_contexts) < 2:
+                continue
+            guards = [
+                write.held | model.entry_held[func] for func, write in writes
+            ]
+            majority = _majority_lock(guards)
+            if majority is None:
+                continue
+            for (func, write), held in zip(writes, guards):
+                if majority in held:
+                    continue
+                yield module.violation(
+                    write.node, self.code,
+                    "write to %s.%s is unguarded, but %d of %d write sites "
+                    "hold %s and the attribute is written from %s contexts"
+                    % (
+                        class_name, attr,
+                        sum(1 for g in guards if majority in g), len(guards),
+                        majority.display,
+                        "+".join(sorted(write_contexts)),
+                    ),
+                )
+
+
+def _majority_lock(guards):
+    """The lock held at a strict majority of write sites, else None."""
+    counts = {}
+    for held in guards:
+        for token in held:
+            counts[token] = counts.get(token, 0) + 1
+    best = None
+    for token, count in counts.items():
+        if 2 * count > len(guards) and (best is None or count > counts[best]):
+            best = token
+    return best

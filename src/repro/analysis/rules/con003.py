@@ -1,0 +1,85 @@
+"""CON003: await or blocking call while holding a lock.
+
+Three shapes, all reported at the offending line:
+
+* ``await`` inside a ``with <threading lock>`` in a coroutine — the
+  loop suspends the coroutine *with the OS lock held*; any thread (or
+  other coroutine on a worker loop) contending on it then stalls for an
+  unbounded number of scheduler turns.  ``async with asyncio.Lock`` is
+  the correct tool and stays silent.
+* A direct blocking call while any recognized lock is held (lexically
+  or on entry via the caller-held fixpoint) — the classic convoy:
+  every contender pays the sleep.
+* A *precisely-resolved* call, made under a lock, into a function whose
+  may-block closure is non-empty — the interprocedural convoy.  Fuzzy
+  name-matched edges are excluded here (see conc/model.py); a reviewed
+  suppression on the underlying blocking line clears the whole chain.
+"""
+
+from repro.analysis.conc import build_model
+from repro.analysis.rules.base import Rule
+
+
+class LockHold(Rule):
+    code = "CON003"
+    name = "lock-hold"
+    description = "await or blocking call while holding a lock"
+    tier = "conc"
+
+    def check(self, project, config):
+        model = build_model(project, config)
+        prefixes = config.paths_for(self.code)
+        for func in model.functions:
+            if not func.module.in_any(prefixes):
+                continue
+            entry = model.entry_held[func]
+            if func.is_async:
+                for await_site in func.awaits:
+                    threading_locks = sorted(
+                        token.display
+                        for token in (await_site.held | entry)
+                        if token.kind == "threading"
+                    )
+                    if threading_locks:
+                        yield func.module.violation(
+                            await_site.node, self.code,
+                            "await while holding threading lock %s suspends "
+                            "the coroutine with the lock held; use "
+                            "asyncio.Lock or release before awaiting"
+                            % ", ".join(threading_locks),
+                        )
+            for effect in model.blocking_effects(func, self.code):
+                held = effect.held | entry
+                if held:
+                    yield func.module.violation(
+                        effect.node, self.code,
+                        "blocking call %s while holding %s makes every "
+                        "contender wait out the block"
+                        % (effect.label, _display(held)),
+                    )
+            for site in func.calls:
+                if site.awaited or site.fuzzy:
+                    continue
+                held = site.held | entry
+                if not held:
+                    continue
+                for target in site.targets:
+                    if target.is_async and not func.is_async:
+                        continue
+                    reached = model.may_block(target, self.code)
+                    if reached is None:
+                        continue
+                    effect, owner = reached
+                    yield func.module.violation(
+                        site.node, self.code,
+                        "call to %s while holding %s reaches blocking %s "
+                        "(%s:%d)" % (
+                            target.qualname, _display(held), effect.label,
+                            owner.module.relpath, effect.node.lineno,
+                        ),
+                    )
+                    break
+
+
+def _display(held):
+    return ", ".join(sorted(token.display for token in held))

@@ -1,0 +1,73 @@
+"""CON004: lock-order cycle across the module lock-order graph.
+
+Acquisition-order edges come from two places: a ``with`` on lock B
+lexically nested inside a ``with`` on lock A (A -> B), and a ``with``
+on B inside a function whose caller-held entry set contains A (the
+interprocedural case the entry-held fixpoint exists for).  A cycle in
+the resulting directed graph means two call stacks can acquire the same
+pair of locks in opposite orders — the textbook ABBA deadlock.  Every
+acquisition site on a cyclic edge is reported, so both halves of the
+inversion show up in one lint run.
+"""
+
+from repro.analysis.conc import build_model
+from repro.analysis.rules.base import Rule
+
+
+class LockOrderCycle(Rule):
+    code = "CON004"
+    name = "lock-order-cycle"
+    description = "lock-order cycle (ABBA deadlock) in the lock-order graph"
+    tier = "conc"
+
+    def check(self, project, config):
+        model = build_model(project, config)
+        prefixes = config.paths_for(self.code)
+        edges = {}  # (outer, inner) -> [(func, node)]
+        for func in model.functions:
+            for order in func.lock_orders:
+                edges.setdefault((order.outer, order.inner), []).append(
+                    (func, order.node)
+                )
+            entry = model.entry_held[func]
+            for region in func.regions:
+                for held in entry:
+                    if held != region.token:
+                        edges.setdefault((held, region.token), []).append(
+                            (func, region.node)
+                        )
+        graph = {}
+        for outer, inner in edges:
+            graph.setdefault(outer, set()).add(inner)
+        seen = set()
+        for (outer, inner), sites in sorted(
+            edges.items(), key=lambda item: (item[0][0].display, item[0][1].display)
+        ):
+            if outer == inner or not _reaches(graph, inner, outer):
+                continue
+            for func, node in sites:
+                if not func.module.in_any(prefixes):
+                    continue
+                key = (func.module.relpath, node.lineno, outer, inner)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield func.module.violation(
+                    node, self.code,
+                    "lock-order cycle: %s is acquired while holding %s here, "
+                    "but the opposite order also exists — two stacks can "
+                    "deadlock ABBA" % (inner.display, outer.display),
+                )
+
+
+def _reaches(graph, start, goal):
+    stack, visited = [start], set()
+    while stack:
+        node = stack.pop()
+        if node == goal:
+            return True
+        if node in visited:
+            continue
+        visited.add(node)
+        stack.extend(graph.get(node, ()))
+    return False

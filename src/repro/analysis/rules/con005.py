@@ -1,0 +1,68 @@
+"""CON005: non-reentrant or blocking work in a signal handler.
+
+A Python signal handler runs between two arbitrary bytecodes of
+whatever the main thread was doing — possibly *inside* a critical
+section of the very lock the handler would take (the single-thread
+deadlock ``signal`` docs warn about), or inside an fsync the handler
+would re-enter.  The only robust handler body is a flag flip: set an
+``Event``, store a boolean, wake the loop.  This rule flags, in any
+function the context propagation marks ``signal``:
+
+* direct blocking effects (sleep, fsync, ``open``, socket I/O, ...);
+* lock acquisition (``with <lock>``), the deadlock case;
+* precisely-resolved calls whose may-block closure is non-empty.
+
+``loop.add_signal_handler(sig, stop.set)``-style flag flips resolve to
+nothing in scope and stay silent by construction.
+"""
+
+from repro.analysis.conc import build_model
+from repro.analysis.conc.contexts import SIGNAL
+from repro.analysis.rules.base import Rule
+
+
+class SignalSafety(Rule):
+    code = "CON005"
+    name = "signal-safety"
+    description = "blocking or lock-taking work in a signal handler"
+    tier = "conc"
+
+    def check(self, project, config):
+        model = build_model(project, config)
+        prefixes = config.paths_for(self.code)
+        for func in model.functions:
+            if not func.module.in_any(prefixes):
+                continue
+            if SIGNAL not in model.contexts[func]:
+                continue
+            chain = model.chain(func, SIGNAL)
+            for effect in model.blocking_effects(func, self.code):
+                yield func.module.violation(
+                    effect.node, self.code,
+                    "blocking call %s in a signal handler (%s); handlers "
+                    "must only flip flags or set events" % (effect.label, chain),
+                )
+            for region in func.regions:
+                yield func.module.violation(
+                    region.node, self.code,
+                    "lock %s acquired in a signal handler (%s): the handler "
+                    "can interrupt its own holder and deadlock a single "
+                    "thread" % (region.token.display, chain),
+                )
+            for site in func.calls:
+                if site.fuzzy or site.awaited:
+                    continue
+                for target in site.targets:
+                    reached = model.may_block(target, self.code)
+                    if reached is None:
+                        continue
+                    effect, owner = reached
+                    yield func.module.violation(
+                        site.node, self.code,
+                        "signal handler (%s) calls %s, which reaches "
+                        "blocking %s (%s:%d)" % (
+                            chain, target.qualname, effect.label,
+                            owner.module.relpath, effect.node.lineno,
+                        ),
+                    )
+                    break

@@ -176,6 +176,9 @@ def _cmd_bench(args):
     # bench summary goes to stderr so redirected output stays clean.
     print(outcome.report)
     runner_bench.write_document(args.output, outcome.document)
+    if args.history:
+        runner_bench.append_history(args.history, outcome.document)
+        print("appended scoreboard line to %s" % args.history, file=sys.stderr)
     print(outcome.summary, file=sys.stderr)
     journal_block = outcome.document.get("journal")
     if journal_block and journal_block["resumed"]:
@@ -500,6 +503,14 @@ def build_parser():
         metavar="PATH",
         help="where to write the bench document (default %s)"
         % runner_bench.DEFAULT_DOCUMENT_PATH,
+    )
+    bench.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="append this run's scoreboard line (wall clock, cells/s, cache "
+        "hit rate, fastpath counters) to a JSONL history file; CI uses "
+        "BENCH_history.jsonl to track the throughput trajectory",
     )
     bench.add_argument(
         "--max-retries",

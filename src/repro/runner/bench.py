@@ -433,3 +433,38 @@ def write_document(path, document):
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=1, sort_keys=True)
         handle.write("\n")
+
+
+#: one-line-per-run scoreboard history (ROADMAP item 5)
+HISTORY_SCHEMA = "repro-bench-history/1"
+
+
+def history_line(document):
+    """Distill a bench document into one scoreboard row.
+
+    The row is the committed-history counterpart of the ``resilience``
+    scoreboard fields: enough to plot the suite's throughput trajectory
+    across runs without carrying per-cell payloads.
+    """
+    resilience = document["resilience"]
+    fastpath = document["perf"]["fastpath"]
+    return {
+        "schema": HISTORY_SCHEMA,
+        "report_sha256": document["report_sha256"],
+        "jobs": document["jobs"],
+        "cells": document["totals"]["cells"],
+        "wall_clock_s": resilience["wall_clock_s"],
+        "cells_per_second": resilience["cells_per_second"],
+        "cache_hit_rate": resilience["cache_hit_rate"],
+        "fastpath_enabled": fastpath["enabled"],
+        "fastpath_hits": fastpath["hits"],
+        "partial": bool(document.get("partial", False)),
+    }
+
+
+def append_history(path, document):
+    """Append the run's scoreboard line to a JSONL history file."""
+    line = history_line(document)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(line, sort_keys=True) + "\n")
+    return line

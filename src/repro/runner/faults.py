@@ -223,6 +223,9 @@ def active_plan(environ=None):
     source = text
     if not text.lstrip().startswith("{"):
         try:
+            # repro-lint: ignore[CON003] — reads the fault plan exactly
+            # once per process (cached above) and only when the chaos env
+            # var points at a file; acceptable under _EXECUTE_LOCK.
             with open(text, "r", encoding="utf-8") as handle:
                 source = handle.read()
         except OSError as exc:
@@ -269,6 +272,9 @@ def on_run_cell(cell_id, attempt):
         raise InjectedFault(cell_id, "crash", attempt)
     if rule.kind == "hang":
         if in_worker():
+            # repro-lint: ignore[CON] — deliberate chaos: the hang fault
+            # *exists* to stall a pool worker until the watchdog kills it;
+            # the in_worker() guard keeps it out of threaded contexts.
             time.sleep(rule.seconds)
             # if the watchdog never killed us, fail loudly rather than
             # returning a payload that looks healthy

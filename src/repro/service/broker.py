@@ -286,4 +286,9 @@ class SimulationBroker:
         self._gate.set()
         self._wake.set()
         if thread is not None:
+            # repro-lint: ignore[CON001] — close() is the shutdown path,
+            # called from the owning thread (ServerHandle.close / tests /
+            # run_forever's finally), never from the event loop; the loop
+            # context is the fuzzy `close` collision with the asyncio
+            # stream writer's close() in ServiceServer._handle.
             thread.join(timeout)

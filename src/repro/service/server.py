@@ -482,19 +482,52 @@ class ServerHandle:
         """Flip the server into draining (thread-safe: it's one flag)."""
         self.server.begin_drain()
 
+    def _assert_off_loop(self, what):
+        """Refuse to block *on* the loop this handle manages.
+
+        ``drain``/``close`` park the calling thread on a future the
+        server loop must fulfil — called from that same loop they would
+        deadlock until the timeout.  The lint-level counterpart is
+        CON001; this runtime guard turns the latent deadlock into an
+        immediate, actionable error.
+        """
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            return  # no loop on this thread: the intended call shape
+        if running is self._loop:
+            raise RuntimeError(
+                "ServerHandle.%s called from the server's own event loop; "
+                "it blocks on loop-driven work and would deadlock — call "
+                "it from another thread (or await server.%s directly)"
+                % (what, what)
+            )
+
     def drain(self, timeout=None):
-        """Run the drain coroutine on the server loop; True if drained."""
+        """Run the drain coroutine on the server loop; True if drained.
+
+        Blocking by design: the caller-side of a cross-thread handoff.
+        """
+        self._assert_off_loop("drain")
         future = asyncio.run_coroutine_threadsafe(
             self.server.drain(timeout), self._loop
         )
         budget = timeout if timeout is not None else self.server.config.drain_timeout
+        # repro-lint: ignore[CON001] — proven off-loop: the guard above
+        # raises when invoked from this server's loop thread, and the
+        # event-loop context here is the resolver's documented fuzzy
+        # `drain` name collision with the async ServiceServer.drain.
         return future.result(budget + 30.0)
 
     def close(self):
+        self._assert_off_loop("close")
         try:
             self._loop.call_soon_threadsafe(self._stop.set)
         except RuntimeError:
             pass  # loop already gone
+        # repro-lint: ignore[CON001] — proven off-loop (guard above);
+        # loop reachability is the fuzzy `close` collision with the
+        # stream writer's close() in ServiceServer._handle.
         self._thread.join(30.0)
         self.server.broker.close()
 

@@ -1,0 +1,22 @@
+"""CON003 seeds: blocking and awaiting while a lock is held."""
+
+import threading
+import time
+
+_LOCK = threading.Lock()
+
+
+def flush(queue):
+    with _LOCK:
+        time.sleep(0.01)  # expect: CON003
+        queue.clear()
+
+
+class Cache:
+    def __init__(self):
+        self._guard = threading.Lock()
+        self.entries = {}
+
+    async def refresh(self, fetch):
+        with self._guard:
+            self.entries = await fetch()  # expect: CON003

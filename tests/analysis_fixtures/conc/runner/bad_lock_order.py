@@ -1,0 +1,18 @@
+"""CON004 seed: two paths take the same pair of locks in opposite order."""
+
+import threading
+
+_ALPHA = threading.Lock()
+_BETA = threading.Lock()
+
+
+def charge(account):
+    with _ALPHA:
+        with _BETA:  # expect: CON004
+            account.debit()
+
+
+def refund(account):
+    with _BETA:
+        with _ALPHA:  # expect: CON004
+            account.credit()

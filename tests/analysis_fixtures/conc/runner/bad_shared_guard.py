@@ -1,0 +1,32 @@
+"""CON002 seed: a counter written from two contexts with a skewed guard.
+
+Two of the three writers hold ``_lock`` (the majority guard); the thread
+writer skips it, which is exactly the hazard CON002 describes.
+"""
+
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.completed = 0
+
+    def record_main(self):
+        with self._lock:
+            self.completed = self.completed + 1
+
+    def record_worker(self):
+        self.completed = self.completed + 1  # expect: CON002
+
+    def record_batch(self, n):
+        with self._lock:
+            self.completed = self.completed + n
+
+
+def run(stats):
+    worker = threading.Thread(target=stats.record_worker)
+    worker.start()
+    stats.record_main()
+    stats.record_batch(2)
+    worker.join()

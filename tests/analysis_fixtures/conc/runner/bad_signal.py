@@ -1,0 +1,12 @@
+"""CON005 seed: a signal handler doing unsafe work beyond a flag flip."""
+
+import signal
+
+
+def _on_term(signum, frame):
+    with open("/tmp/shutdown.marker", "w") as handle:  # expect: CON005
+        handle.write("term")
+
+
+def install():
+    signal.signal(signal.SIGTERM, _on_term)

@@ -1,0 +1,13 @@
+"""CON001 seed: a coroutine that blocks the event loop."""
+
+import asyncio
+import time
+
+
+async def handle_request(payload):
+    time.sleep(0.05)  # expect: CON001
+    return payload
+
+
+def main():
+    asyncio.run(handle_request({}))

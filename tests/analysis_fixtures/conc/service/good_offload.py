@@ -1,0 +1,18 @@
+"""Clean twin of bad_loop_blocking: the stall is offloaded to a thread.
+
+``run_in_executor`` seeds the worker with the thread context, so the
+``time.sleep`` inside it never counts against the event loop.
+"""
+
+import asyncio
+import time
+
+
+def _crunch(payload):
+    time.sleep(0.05)
+    return payload
+
+
+async def handle_request(payload):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, _crunch, payload)

@@ -1,0 +1,19 @@
+"""Alias-seam suppression demo: one waiver at the seam covers all calls.
+
+``_sleep`` is a module-level alias of ``time.sleep`` (the repository uses
+the same shape as a test seam).  The suppression sits on the *alias
+definition* line; effect filtering honours the alias origin, so the call
+inside the coroutine below stays silent too.
+"""
+
+import time
+
+# test seam, patched in tests; loop callers accept the stall.
+# repro-lint: ignore[CON001] — demo: a waiver on the alias definition
+# silences every call routed through the seam.
+_sleep = time.sleep
+
+
+async def nap(seconds):
+    _sleep(seconds)
+    return seconds

@@ -34,6 +34,13 @@ def test_repo_tree_is_clean_with_flow_and_spec_tiers():
     assert violations == [], "\n".join(v.format() for v in violations)
 
 
+def test_repo_tree_is_conc_clean():
+    """The concurrency tier: every CON finding in the serving stack is
+    either fixed or carries a reviewed in-source waiver."""
+    violations = run_analysis([SRC], config=repo_config(), conc=True)
+    assert violations == [], "\n".join(v.format() for v in violations)
+
+
 def test_every_calibrated_primitive_is_consumed():
     """COV001 in isolation: zero orphans — every primitive in
     ``repro.hw.costs`` is read by at least one composed simulation path."""

@@ -1,0 +1,336 @@
+"""Conc-tier units and interplay: contexts, effects, suppression seams.
+
+The fixture-marker equalities live in ``test_analysis_rules``; this
+module drills into the model the CON rules share — context propagation,
+may-block closures, entry-held locks, alias-origin suppression — plus
+the tier's gating/override semantics and CLI surface.
+"""
+
+import importlib.util
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis import run_analysis
+from repro.analysis.cli import main as lint_main
+from repro.analysis.conc import build_model
+from repro.analysis.conc.contexts import EVENT_LOOP, MAIN, SIGNAL, THREAD
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import discover
+from repro.analysis.rules import active_rules
+
+FIXTURES = pathlib.Path(__file__).parent / "analysis_fixtures"
+TOOLS_DIR = pathlib.Path(__file__).resolve().parent.parent / "tools"
+CON_CODES = {"CON001", "CON002", "CON003", "CON004", "CON005"}
+CONC_DIR = str(FIXTURES / "conc")
+
+
+def model_for(tmp_path, tree):
+    """Write ``{relpath: source}`` under tmp_path and build a ConcModel."""
+    for rel, text in tree.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+    project, errors = discover([tmp_path])
+    assert errors == []
+    return build_model(project, LintConfig())
+
+
+def func(model, qualname):
+    matches = [f for f in model.functions if f.qualname == qualname]
+    assert len(matches) == 1, "want exactly one %r, got %r" % (
+        qualname, [f.label for f in matches],
+    )
+    return matches[0]
+
+
+class TestContextPropagation:
+    TREE = {
+        "svc/app.py": """
+            import asyncio
+            import signal
+            import threading
+            import time
+
+
+            def cpu_bound():
+                time.sleep(0.2)
+
+
+            async def serve():
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, cpu_bound)
+
+
+            def on_signal(signum, frame):
+                pass
+
+
+            def helper():
+                return 1
+
+
+            def main():
+                signal.signal(signal.SIGTERM, on_signal)
+                worker = threading.Thread(target=cpu_bound)
+                worker.start()
+                helper()
+                asyncio.run(serve())
+        """
+    }
+
+    def test_spawn_constructs_seed_contexts(self, tmp_path):
+        model = model_for(tmp_path, self.TREE)
+        assert model.contexts[func(model, "serve")] == {EVENT_LOOP}
+        assert model.contexts[func(model, "on_signal")] == {SIGNAL}
+        # Thread(target=...) and run_in_executor both land on THREAD —
+        # and neither leaks the spawner's own context into the worker
+        assert model.contexts[func(model, "cpu_bound")] == {THREAD}
+
+    def test_plain_calls_inherit_and_default_is_main(self, tmp_path):
+        model = model_for(tmp_path, self.TREE)
+        assert model.contexts[func(model, "helper")] == {MAIN}
+        assert model.contexts[func(model, "main")] == {MAIN}
+
+    def test_witness_chain_names_the_seed(self, tmp_path):
+        model = model_for(tmp_path, self.TREE)
+        chain = model.chain(func(model, "cpu_bound"), THREAD)
+        assert "cpu_bound" in chain
+
+    def test_offloaded_worker_never_fires_con001(self, tmp_path):
+        for rel, text in self.TREE.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text))
+        assert run_analysis([tmp_path], select=["CON001"]) == []
+
+
+class TestMayBlockClosure:
+    TREE = {
+        "svc/flow.py": """
+            import time
+
+
+            def leaf():
+                time.sleep(0.5)
+
+
+            def middle():
+                leaf()
+
+
+            def top():
+                middle()
+
+
+            async def acoro():
+                time.sleep(0.1)
+
+
+            def maker():
+                return acoro()
+        """
+    }
+
+    def test_blocking_closes_over_plain_call_edges(self, tmp_path):
+        model = model_for(tmp_path, self.TREE)
+        found = model.may_block(func(model, "top"), "CON003")
+        assert found is not None
+        effect, owner = found
+        assert owner.qualname == "leaf"
+        assert effect.label == "time.sleep"
+
+    def test_sync_code_touching_a_coroutine_does_not_block(self, tmp_path):
+        model = model_for(tmp_path, self.TREE)
+        # maker() only *creates* the coroutine object; nothing runs
+        assert model.may_block(func(model, "maker"), "CON003") is None
+        assert model.may_block(func(model, "acoro"), "CON003") is not None
+
+
+class TestEntryHeldFixpoint:
+    TREE = {
+        "svc/locks.py": """
+            import threading
+
+            _LOCK = threading.Lock()
+
+
+            def outer():
+                with _LOCK:
+                    guarded()
+                    inner()
+
+
+            def other():
+                with _LOCK:
+                    guarded()
+
+
+            def free():
+                inner()
+
+
+            def guarded():
+                return 1
+
+
+            def inner():
+                return 2
+        """
+    }
+
+    def test_always_under_lock_means_entry_held(self, tmp_path):
+        model = model_for(tmp_path, self.TREE)
+        held = model.entry_held[func(model, "guarded")]
+        assert {token.name for token in held} == {"_LOCK"}
+
+    def test_one_unlocked_call_site_clears_the_assumption(self, tmp_path):
+        model = model_for(tmp_path, self.TREE)
+        assert model.entry_held[func(model, "inner")] == frozenset()
+
+
+class TestSuppressionSeams:
+    def test_module_alias_waiver_filters_only_that_code(self, tmp_path):
+        model = model_for(tmp_path, {
+            "svc/seam.py": """
+                import time
+
+                # repro-lint: ignore[CON001] — reviewed seam
+                _sleep = time.sleep
+
+
+                async def nap():
+                    _sleep(1.0)
+            """
+        })
+        nap = func(model, "nap")
+        assert model.blocking_effects(nap, "CON001") == []
+        # the waiver names CON001 only: other conc rules still see it
+        assert len(model.blocking_effects(nap, "CON003")) == 1
+
+    def test_staticmethod_class_alias_waiver(self, tmp_path):
+        model = model_for(tmp_path, {
+            "svc/client.py": """
+                import time
+
+
+                class Client:
+                    _sleep = staticmethod(time.sleep)  # repro-lint: ignore[CON]
+
+                    def wait(self):
+                        self._sleep(1.0)
+            """
+        })
+        wait = func(model, "Client.wait")
+        assert model.blocking_effects(wait, "CON001") == []
+
+    def test_suppression_attaches_inside_async_def(self, tmp_path):
+        (tmp_path / "mod.py").write_text(textwrap.dedent("""
+            import time
+
+
+            async def handler():
+                # repro-lint: ignore[CON001] — reviewed: sub-ms stall
+                time.sleep(0.0001)
+        """))
+        assert run_analysis([tmp_path], select=["CON001"]) == []
+
+
+class TestTierGating:
+    def test_conc_rules_stay_out_of_other_tiers(self):
+        for kwargs in ({}, {"flow": True}, {"spec": True},
+                       {"flow": True, "spec": True}):
+            codes = {r.code for r in active_rules(LintConfig(), **kwargs)}
+            assert codes & CON_CODES == set()
+
+    def test_explicit_select_overrides_the_gate(self):
+        rules = active_rules(LintConfig(), ["CON002"])
+        assert [r.code for r in rules] == ["CON002"]
+
+    def test_ignore_prefix_waives_the_whole_tier(self):
+        violations = run_analysis([FIXTURES], flow=True, spec=True,
+                                  conc=True, ignore=["CON"])
+        assert violations  # the other tiers still report
+        assert not any(v.rule in CON_CODES for v in violations)
+
+
+class TestCli:
+    def test_conc_flag_gates_the_tier(self, capsys):
+        assert lint_main([CONC_DIR]) == 0
+        capsys.readouterr()
+        assert lint_main(["--conc", CONC_DIR]) == 1
+        out = capsys.readouterr().out
+        assert "CON001" in out and "CON004" in out
+
+    def test_conc_plus_ignore_prefix_is_clean(self, capsys):
+        assert lint_main(["--conc", "--ignore", "CON", CONC_DIR]) == 0
+
+    def test_statistics_tally_conc_rules(self, capsys):
+        lint_main(["--conc", "--statistics", CONC_DIR])
+        out = capsys.readouterr().out
+        assert "CON003" in out
+
+
+def _load_validate_conclint():
+    spec = importlib.util.spec_from_file_location(
+        "validate_conclint", TOOLS_DIR / "validate_conclint.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestValidateConclintTool:
+    SELECT = "CON001,CON002,CON003,CON004,CON005"
+
+    def _report(self, tmp_path, capsys, argv):
+        status = lint_main(argv)
+        assert status in (0, 1)
+        path = tmp_path / "report.json"
+        path.write_text(capsys.readouterr().out)
+        return path
+
+    def test_fixture_report_validates(self, tmp_path, capsys):
+        path = self._report(
+            tmp_path, capsys,
+            ["--format", "json", "--statistics", "--select", self.SELECT, CONC_DIR],
+        )
+        validator = _load_validate_conclint()
+        assert validator.validate(str(path)) == []
+        assert validator.main([str(path)]) == 0
+        # the same (non-empty) report fails the clean gate
+        assert validator.main(["--expect-clean", str(path)]) == 1
+
+    def test_clean_report_passes_the_clean_gate(self, tmp_path, capsys):
+        path = self._report(
+            tmp_path, capsys,
+            ["--format", "json", "--select", "CON001", "--ignore", "CON001",
+             CONC_DIR],
+        )
+        validator = _load_validate_conclint()
+        assert validator.main(["--expect-clean", str(path)]) == 0
+
+    def test_tampered_reports_fail(self, tmp_path, capsys):
+        path = self._report(
+            tmp_path, capsys,
+            ["--format", "json", "--statistics", "--select", self.SELECT, CONC_DIR],
+        )
+        validator = _load_validate_conclint()
+        document = json.loads(path.read_text())
+
+        document["count"] += 1
+        document["statistics"]["CON001"] = 99
+        document["violations"][0]["rule"] = "NOPE001"
+        document["violations"][1]["line"] = 0
+        tampered = tmp_path / "tampered.json"
+        tampered.write_text(json.dumps(document))
+        problems = validator.validate(str(tampered))
+        for needle in ("count", "statistics", "NOPE001", "line"):
+            assert any(needle in problem for problem in problems), needle
+        assert validator.main([str(tampered)]) == 1
+
+    def test_usage_without_args(self, capsys):
+        validator = _load_validate_conclint()
+        assert validator.main([]) == 2

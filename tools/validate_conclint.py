@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""CI schema smoke for conc-tier lint reports (``lint --format json``).
+
+Checks the contract :mod:`repro.analysis.report` promises for the JSON
+renderer, specialised to the concurrency tier's CI artifact: a JSON
+object whose ``count`` equals the length of ``violations``; every
+violation carrying a string ``path``, 1-based integer ``line``,
+non-negative integer ``col``, a ``rule`` drawn from CON001..CON005 (the
+artifact is produced with ``--select`` over exactly those codes), and a
+non-empty ``message``; and, when present, a ``statistics`` block whose
+per-rule tallies agree with the violation rows.
+
+The conc job uses this to keep the *shape* of the artifact honest even
+while the gate requires the tree itself to be clean (count == 0); pass
+``--expect-clean`` to additionally fail on any finding.
+
+Usage:
+    python tools/validate_conclint.py [--expect-clean] report.json [...]
+
+Exits 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+CON_RULES = ("CON001", "CON002", "CON003", "CON004", "CON005")
+
+
+def _is_int(value):
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def validate(path, expect_clean=False):
+    """Return a list of problem strings (empty = valid)."""
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return ["cannot read %s: %s" % (path, exc)]
+    if not isinstance(document, dict):
+        return ["top level must be a JSON object"]
+
+    violations = document.get("violations")
+    if not isinstance(violations, list):
+        problems.append("violations must be a list")
+        violations = []
+    if document.get("count") != len(violations):
+        problems.append(
+            "count %r disagrees with %d violation rows"
+            % (document.get("count"), len(violations))
+        )
+
+    tally = {}
+    for index, row in enumerate(violations):
+        where = "violations[%d]" % index
+        if not isinstance(row, dict):
+            problems.append("%s must be an object" % where)
+            continue
+        if not (isinstance(row.get("path"), str) and row["path"]):
+            problems.append("%s.path must be a non-empty string" % where)
+        if not (_is_int(row.get("line")) and row["line"] >= 1):
+            problems.append("%s.line must be a positive integer" % where)
+        if not (_is_int(row.get("col")) and row["col"] >= 0):
+            problems.append("%s.col must be a non-negative integer" % where)
+        rule = row.get("rule")
+        if rule not in CON_RULES:
+            problems.append("%s.rule %r is not a conc rule" % (where, rule))
+        else:
+            tally[rule] = tally.get(rule, 0) + 1
+        if not (isinstance(row.get("message"), str) and row["message"].strip()):
+            problems.append("%s.message must be a non-empty string" % where)
+
+    statistics = document.get("statistics")
+    if statistics is not None:
+        if not isinstance(statistics, dict):
+            problems.append("statistics must be an object")
+        elif statistics != tally:
+            problems.append(
+                "statistics %r disagree with violation tally %r"
+                % (statistics, tally)
+            )
+
+    if expect_clean and violations:
+        problems.append(
+            "expected a clean tree, found %d conc finding(s)" % len(violations)
+        )
+    return problems
+
+
+def main(argv):
+    args = list(argv)
+    expect_clean = "--expect-clean" in args
+    paths = [arg for arg in args if arg != "--expect-clean"]
+    if not paths:
+        print(__doc__)
+        return 2
+    failed = False
+    for path in paths:
+        problems = validate(path, expect_clean=expect_clean)
+        if problems:
+            failed = True
+            print("FAIL %s" % path)
+            for problem in problems:
+                print("  - %s" % problem)
+        else:
+            print("OK   %s" % path)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
